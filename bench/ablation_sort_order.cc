@@ -1,0 +1,122 @@
+// Ablation (paper §3, Figure 2 vs Figure 4): WHY bit-interleaving matters.
+// Sorting by the plain (lexicographic) SAX word orders series by their first
+// segment only; sorting by invSAX places them on a z-order curve. This
+// harness sorts the same dataset both ways and measures, for a set of
+// queries, the best true distance found within a fixed-size window around
+// the query's would-be position in each sorted order — i.e., the quality an
+// approximate search over contiguous sorted leaves can deliver.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "src/series/distance.h"
+#include "src/summary/invsax.h"
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("Ablation: sort order",
+         "z-order (invSAX) vs lexicographic SAX neighborhood quality");
+  const size_t count = 20000 * Scale();
+  const size_t length = 256;
+  const size_t queries = 100;
+  const size_t window = 200;  // entries examined around the target position
+
+  SummaryOptions sum;
+  sum.series_length = length;
+  sum.segments = 16;
+  sum.cardinality_bits = 8;
+
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, length, 51);
+  std::vector<Series> data;
+  data.reserve(count);
+  std::vector<SaxWord> words(count, SaxWord(sum.segments));
+  std::vector<ZKey> zkeys(count);
+  for (size_t i = 0; i < count; ++i) {
+    data.push_back(gen->NextSeries());
+    SaxFromSeries(data[i].data(), sum, words[i].data());
+    zkeys[i] = InvSaxFromSax(words[i].data(), sum);
+  }
+
+  // Two sorted orders over the same data.
+  std::vector<uint32_t> by_invsax(count), by_lex(count);
+  for (uint32_t i = 0; i < count; ++i) by_invsax[i] = by_lex[i] = i;
+  std::sort(by_invsax.begin(), by_invsax.end(),
+            [&](uint32_t a, uint32_t b) { return zkeys[a] < zkeys[b]; });
+  std::sort(by_lex.begin(), by_lex.end(), [&](uint32_t a, uint32_t b) {
+    return words[a] < words[b];  // lexicographic segment-by-segment
+  });
+
+  auto qs = MakeQueries(DatasetKind::kRandomWalk, queries, length, 5100);
+  double sum_z = 0.0, sum_lex = 0.0, sum_exact = 0.0;
+  size_t z_wins = 0;
+  for (const Series& q : qs) {
+    SaxWord qw(sum.segments);
+    SaxFromSeries(q.data(), sum, qw.data());
+    const ZKey qk = InvSaxFromSax(qw.data(), sum);
+
+    auto window_best = [&](const std::vector<uint32_t>& order,
+                           auto&& less_than_query) {
+      // Position where the query would insert.
+      size_t lo = 0, hi = count;
+      while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (less_than_query(order[mid])) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      const size_t begin = lo > window / 2 ? lo - window / 2 : 0;
+      const size_t end = std::min(count, begin + window);
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t i = begin; i < end; ++i) {
+        best = std::min(best, SquaredEuclidean(data[order[i]].data(),
+                                               q.data(), length));
+      }
+      return std::sqrt(best);
+    };
+
+    const double dz = window_best(
+        by_invsax, [&](uint32_t i) { return zkeys[i] < qk; });
+    const double dlex =
+        window_best(by_lex, [&](uint32_t i) { return words[i] < qw; });
+    double exact = std::numeric_limits<double>::infinity();
+    for (const Series& x : data) {
+      exact =
+          std::min(exact, SquaredEuclidean(x.data(), q.data(), length));
+    }
+    exact = std::sqrt(exact);
+    sum_z += dz;
+    sum_lex += dlex;
+    sum_exact += exact;
+    if (dz <= dlex) ++z_wins;
+  }
+
+  PrintHeader({"order", "avg_window_NN", "vs_exact_ratio"});
+  PrintRow({"invSAX(z-order)", FmtDouble(sum_z / queries, 3),
+            FmtDouble(sum_z / sum_exact, 3)});
+  PrintRow({"lexicographic", FmtDouble(sum_lex / queries, 3),
+            FmtDouble(sum_lex / sum_exact, 3)});
+  PrintRow({"exact NN", FmtDouble(sum_exact / queries, 3), "1.000"});
+  std::printf(
+      "\nz-order window beat or matched lexicographic on %.0f%% of queries.\n"
+      "Expectation (paper §3): sorting by unmodified SAX words groups series\n"
+      "by their first segment only, so a fixed window around the query's\n"
+      "position contains far worse neighbors than the z-order window.\n",
+      100.0 * z_wins / queries);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+int main() {
+  coconut::bench::Run();
+  return 0;
+}

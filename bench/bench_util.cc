@@ -1,0 +1,103 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+namespace coconut {
+namespace bench {
+
+size_t Scale() {
+  const char* env = std::getenv("COCONUT_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : 1;
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+BenchDir::BenchDir() {
+  CheckOk(MakeTempDir("coconut-bench-", &path_), "create bench dir");
+}
+
+BenchDir::~BenchDir() { (void)RemoveAll(path_); }
+
+std::string PrepareDataset(const BenchDir& dir, DatasetKind kind, size_t count,
+                           size_t length, uint64_t seed,
+                           const std::string& name) {
+  const std::string path = dir.File(name);
+  auto gen = MakeGenerator(kind, length, seed);
+  CheckOk(WriteDataset(path, gen.get(), count), "generate dataset");
+  return path;
+}
+
+std::vector<Series> MakeQueries(DatasetKind kind, size_t count, size_t length,
+                                uint64_t seed) {
+  auto gen = MakeGenerator(kind, length, seed);
+  std::vector<Series> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) queries.push_back(gen->NextSeries());
+  return queries;
+}
+
+void PrintHeader(const std::vector<std::string>& columns) {
+  PrintRow(columns);
+  std::string sep;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    sep += (i == 0 ? "|" : "");
+    sep += std::string(18, '-');
+    sep += "|";
+  }
+  std::printf("%s\n", sep.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::string row = "|";
+  for (const std::string& c : cells) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %-16s |", c.c_str());
+    row += buf;
+  }
+  std::printf("%s\n", row.c_str());
+  std::fflush(stdout);
+}
+
+std::string FmtSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+std::string FmtMb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / 1048576.0);
+  return buf;
+}
+
+std::string FmtCount(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string FmtDouble(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Banner(const std::string& figure, const std::string& description) {
+  std::printf(
+      "==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("(scale=%zu; set COCONUT_BENCH_SCALE to enlarge)\n", Scale());
+  std::printf(
+      "==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace coconut

@@ -1,0 +1,170 @@
+// Figure 8a: index construction time for the MATERIALIZED indexes as the
+// memory budget shrinks. Paper result: Coconut-Tree-Full (CTreeFull) is
+// fastest at every budget; Coconut-Trie-Full degrades sharply when memory is
+// constrained (random fetches while loading unsorted raw data into sorted
+// leaves); Vertical and R-tree are slower throughout; DSTree is far slower
+// than everything (top-down one-by-one insertion).
+#include "bench/bench_util.h"
+#include "src/baselines/ads/ads_index.h"
+#include "src/baselines/dstree/dstree_index.h"
+#include "src/baselines/rtree/rtree.h"
+#include "src/baselines/vertical/vertical_index.h"
+#include "src/core/coconut_tree.h"
+#include "src/core/coconut_trie.h"
+
+namespace coconut {
+namespace bench {
+namespace {
+
+constexpr size_t kLength = 256;
+constexpr size_t kSegments = 16;
+constexpr size_t kLeafCapacity = 2000;
+
+SummaryOptions Summary() {
+  SummaryOptions s;
+  s.series_length = kLength;
+  s.segments = kSegments;
+  s.cardinality_bits = 8;
+  return s;
+}
+
+void Run() {
+  Banner("Figure 8a",
+         "construction time, materialized indexes, shrinking memory budget");
+  const size_t count = 20000 * Scale();
+  BenchDir dir;
+  const std::string raw = PrepareDataset(dir, DatasetKind::kRandomWalk, count,
+                                         kLength, 11, "data.bin");
+  std::printf("dataset: %zu series x %zu points (%.0f MB raw)\n\n", count,
+              kLength, count * kLength * 4 / 1048576.0);
+
+  PrintHeader({"method", "budget", "build_time", "rand_io", "seq_io"});
+  const std::vector<std::pair<const char*, size_t>> budgets = {
+      {"ample(256MB)", 256ull << 20},
+      {"medium(8MB)", 8ull << 20},
+      {"small(2MB)", 2ull << 20},
+  };
+
+  for (const auto& [label, budget] : budgets) {
+    {  // Coconut-Tree-Full: external sort of the full records.
+      CoconutOptions opts;
+      opts.summary = Summary();
+      opts.leaf_capacity = kLeafCapacity;
+      opts.materialized = true;
+      opts.memory_budget_bytes = budget;
+      opts.tmp_dir = dir.path();
+      Measured m;
+      CheckOk(CoconutTree::Build(raw, dir.File("ctreefull.idx"), opts),
+              "CTreeFull build");
+      const IoSnapshot io = m.io();
+      PrintRow({"CTreeFull", label, FmtSeconds(m.seconds()),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+    {  // Coconut-Trie-Full: sorts summaries, then materializes.
+      CoconutOptions opts;
+      opts.summary = Summary();
+      opts.leaf_capacity = kLeafCapacity;
+      opts.materialized = true;
+      opts.memory_budget_bytes = budget;
+      opts.tmp_dir = dir.path();
+      Measured m;
+      CheckOk(CoconutTrie::Build(raw, dir.File("ctriefull.idx"), opts),
+              "CTrieFull build");
+      const IoSnapshot io = m.io();
+      PrintRow({"CTrieFull", label, FmtSeconds(m.seconds()),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+    {  // ADSFull: top-down inserts + materialization pass.
+      AdsOptions opts;
+      opts.summary = Summary();
+      opts.leaf_capacity = kLeafCapacity;
+      opts.materialized = true;
+      opts.memory_budget_bytes = budget;
+      std::unique_ptr<AdsIndex> index;
+      Measured m;
+      CheckOk(AdsIndex::Build(raw, dir.File("adsfull.pages"), opts, &index),
+              "ADSFull build");
+      const IoSnapshot io = m.io();
+      PrintRow({"ADSFull", label, FmtSeconds(m.seconds()),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+    {  // R-tree (materialized) via STR.
+      RtreeOptions opts;
+      opts.summary = Summary();
+      opts.leaf_capacity = kLeafCapacity;
+      opts.materialized = true;
+      opts.memory_budget_bytes = budget;
+      opts.tmp_dir = dir.path();
+      std::unique_ptr<RTree> tree;
+      Measured m;
+      CheckOk(RTree::Build(raw, dir.File("rtree.pages"), opts, &tree),
+              "R-tree build");
+      const IoSnapshot io = m.io();
+      PrintRow({"R-tree", label, FmtSeconds(m.seconds()),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+    {  // Vertical: one pass per DHWT level.
+      VerticalOptions opts;
+      opts.series_length = kLength;
+      opts.memory_budget_bytes = budget;
+      std::unique_ptr<VerticalIndex> index;
+      Measured m;
+      CheckOk(VerticalIndex::Build(raw, dir.File("vertical"), opts, &index),
+              "Vertical build");
+      const IoSnapshot io = m.io();
+      PrintRow({"Vertical", label, FmtSeconds(m.seconds()),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+    {  // DSTree: top-down one-by-one (the paper's 24h+ method). Run at a
+      // quarter of the data so the harness stays interactive; the per-series
+      // rate is what matters and is reported alongside.
+      const size_t dstree_count = count / 4;
+      DstreeOptions opts;
+      opts.series_length = kLength;
+      opts.leaf_capacity = kLeafCapacity;
+      opts.memory_budget_bytes = budget;
+      std::unique_ptr<DstreeIndex> index;
+      CheckOk(DstreeIndex::Create(opts, dir.File("dstree.pages"), &index),
+              "DSTree create");
+      DatasetScanner scanner;
+      CheckOk(scanner.Open(raw, kLength), "DSTree scan");
+      Series s(kLength);
+      Status st;
+      Measured m;
+      uint64_t position = 0;
+      for (size_t i = 0; i < dstree_count && scanner.Next(s.data(), &st);
+           ++i) {
+        CheckOk(index->Insert(s.data(), position), "DSTree insert");
+        position += kLength * sizeof(Value);
+      }
+      CheckOk(st, "DSTree scan");
+      CheckOk(index->FlushAll(), "DSTree flush");
+      const double scaled = m.seconds() * (static_cast<double>(count) /
+                                           static_cast<double>(dstree_count));
+      const IoSnapshot io = m.io();
+      PrintRow({"DSTree(x4 est)", label, FmtSeconds(scaled),
+                FmtCount(io.random_read_ops + io.random_write_ops),
+                FmtCount(io.seq_read_ops() + io.seq_write_ops())});
+    }
+  }
+  std::printf(
+      "\nExpectation (paper Fig 8a): CTreeFull fastest at all budgets;\n"
+      "CTrieFull degrades as the budget shrinks (random materialization\n"
+      "reads blow up, see rand_io); R-tree/Vertical slower. At paper scale\n"
+      "DSTree is slowest by orders of magnitude; at laptop scale the OS\n"
+      "page cache absorbs its random I/O, so compare the I/O columns.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace coconut
+
+int main() {
+  coconut::bench::Run();
+  return 0;
+}

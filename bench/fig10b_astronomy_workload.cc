@@ -1,0 +1,10 @@
+// Figure 10b: complete workload (construction + 100 exact queries) on the
+// astronomy-sim dataset under shrinking memory budgets.
+#include "bench/workload_fixture.h"
+
+int main() {
+  coconut::bench::Banner("Figure 10b",
+                         "complete workload on the astronomy-sim dataset");
+  coconut::bench::RunWorkload(coconut::DatasetKind::kAstronomy, "Fig 10b", 41);
+  return 0;
+}

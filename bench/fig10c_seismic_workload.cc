@@ -1,0 +1,10 @@
+// Figure 10c: complete workload (construction + 100 exact queries) on the
+// seismic-sim dataset under shrinking memory budgets.
+#include "bench/workload_fixture.h"
+
+int main() {
+  coconut::bench::Banner("Figure 10c",
+                         "complete workload on the seismic-sim dataset");
+  coconut::bench::RunWorkload(coconut::DatasetKind::kSeismic, "Fig 10c", 42);
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the core operations: PAA, SAX,
+// invSAX interleaving, key comparison, MINDIST, and external-sort
+// throughput. These are the per-record costs that the construction pipeline
+// (Fig 8) multiplies by N.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "src/common/env.h"
+#include "src/common/random.h"
+#include "src/common/zkey.h"
+#include "src/series/generator.h"
+#include "src/sort/external_sort.h"
+#include "src/summary/invsax.h"
+#include "src/summary/mindist.h"
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+namespace {
+
+SummaryOptions Sum() {
+  SummaryOptions s;
+  s.series_length = 256;
+  s.segments = 16;
+  s.cardinality_bits = 8;
+  return s;
+}
+
+void BM_PaaTransform(benchmark::State& state) {
+  RandomWalkGenerator gen(256, 1);
+  Series s = gen.NextSeries();
+  std::vector<double> paa(16);
+  for (auto _ : state) {
+    PaaTransform(s.data(), 256, 16, paa.data());
+    benchmark::DoNotOptimize(paa.data());
+  }
+}
+BENCHMARK(BM_PaaTransform);
+
+void BM_SaxFromSeries(benchmark::State& state) {
+  RandomWalkGenerator gen(256, 2);
+  Series s = gen.NextSeries();
+  std::vector<uint8_t> sax(16);
+  const SummaryOptions opts = Sum();
+  for (auto _ : state) {
+    SaxFromSeries(s.data(), opts, sax.data());
+    benchmark::DoNotOptimize(sax.data());
+  }
+}
+BENCHMARK(BM_SaxFromSeries);
+
+void BM_InvSaxInterleave(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint8_t> sax(16);
+  for (auto& b : sax) b = static_cast<uint8_t>(rng.UniformInt(256));
+  const SummaryOptions opts = Sum();
+  for (auto _ : state) {
+    ZKey k = InvSaxFromSax(sax.data(), opts);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_InvSaxInterleave);
+
+void BM_InvSaxRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint8_t> sax(16), back(16);
+  for (auto& b : sax) b = static_cast<uint8_t>(rng.UniformInt(256));
+  const SummaryOptions opts = Sum();
+  for (auto _ : state) {
+    const ZKey k = InvSaxFromSax(sax.data(), opts);
+    SaxFromInvSax(k, opts, back.data());
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_InvSaxRoundTrip);
+
+void BM_ZKeyCompare(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<ZKey> keys(1024);
+  const SummaryOptions opts = Sum();
+  std::vector<uint8_t> sax(16);
+  for (auto& k : keys) {
+    for (auto& b : sax) b = static_cast<uint8_t>(rng.UniformInt(256));
+    k = InvSaxFromSax(sax.data(), opts);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const bool less = keys[i % 1024] < keys[(i + 1) % 1024];
+    benchmark::DoNotOptimize(less);
+    ++i;
+  }
+}
+BENCHMARK(BM_ZKeyCompare);
+
+void BM_MindistSax(benchmark::State& state) {
+  RandomWalkGenerator gen(256, 6);
+  Series q = gen.NextSeries(), x = gen.NextSeries();
+  const SummaryOptions opts = Sum();
+  std::vector<double> paa(16);
+  std::vector<uint8_t> sax(16);
+  PaaTransform(q.data(), 256, 16, paa.data());
+  SaxFromSeries(x.data(), opts, sax.data());
+  for (auto _ : state) {
+    const double d = MindistSqPaaToSax(paa.data(), sax.data(), opts);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_MindistSax);
+
+void BM_ExternalSort(benchmark::State& state) {
+  // Sort `state.range(0)` 40-byte records (the non-materialized entry size).
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string tmp;
+  if (!MakeTempDir("coconut-microsort-", &tmp).ok()) {
+    state.SkipWithError("tmp dir");
+    return;
+  }
+  Rng rng(7);
+  std::vector<uint8_t> records(n * 40);
+  for (auto& b : records) b = static_cast<uint8_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    ExternalSortOptions opts;
+    opts.record_bytes = 40;
+    opts.key_bytes = 32;
+    opts.memory_budget_bytes = 1 << 20;  // force spills beyond ~13K records
+    opts.tmp_dir = tmp;
+    ExternalSorter sorter(opts);
+    for (size_t i = 0; i < n; ++i) {
+      if (!sorter.Add(records.data() + i * 40).ok()) {
+        state.SkipWithError("add");
+        return;
+      }
+    }
+    std::unique_ptr<SortedRecordStream> stream;
+    if (!sorter.Finish(&stream).ok()) {
+      state.SkipWithError("finish");
+      return;
+    }
+    uint8_t rec[40];
+    Status st;
+    uint64_t count = 0;
+    while (stream->Next(rec, &st)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  (void)RemoveAll(tmp);
+}
+BENCHMARK(BM_ExternalSort)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace coconut
+
+BENCHMARK_MAIN();

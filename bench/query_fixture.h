@@ -1,0 +1,73 @@
+// Shared fixture for the Figure 9/10 query benches: builds the four indexes
+// the paper focuses on after Fig 8 ("we proceed in the evaluation only with
+// the Coconut-Tree and the ADS families") over one dataset.
+#ifndef COCONUT_BENCH_QUERY_FIXTURE_H_
+#define COCONUT_BENCH_QUERY_FIXTURE_H_
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/baselines/ads/ads_index.h"
+#include "src/core/coconut_tree.h"
+
+namespace coconut {
+namespace bench {
+
+struct QueryFixture {
+  std::unique_ptr<CoconutTree> ctree;
+  std::unique_ptr<CoconutTree> ctree_full;
+  std::unique_ptr<AdsIndex> ads_plus;
+  std::unique_ptr<AdsIndex> ads_full;
+};
+
+inline SummaryOptions DefaultSummary(size_t length) {
+  SummaryOptions s;
+  s.series_length = length;
+  s.segments = 16;
+  s.cardinality_bits = 8;
+  return s;
+}
+
+/// Builds all four indexes over `raw`. `budget` applies to every build.
+inline QueryFixture BuildQueryFixture(const BenchDir& dir,
+                                      const std::string& raw, size_t length,
+                                      size_t leaf_capacity, size_t budget) {
+  QueryFixture f;
+  {
+    CoconutOptions opts;
+    opts.summary = DefaultSummary(length);
+    opts.leaf_capacity = leaf_capacity;
+    opts.memory_budget_bytes = budget;
+    opts.tmp_dir = dir.path();
+    CheckOk(CoconutTree::Build(raw, dir.File("q-ctree.idx"), opts),
+            "CTree build");
+    CheckOk(CoconutTree::Open(dir.File("q-ctree.idx"), raw, &f.ctree),
+            "CTree open");
+    opts.materialized = true;
+    CheckOk(CoconutTree::Build(raw, dir.File("q-ctreefull.idx"), opts),
+            "CTreeFull build");
+    CheckOk(
+        CoconutTree::Open(dir.File("q-ctreefull.idx"), raw, &f.ctree_full),
+        "CTreeFull open");
+  }
+  {
+    AdsOptions opts;
+    opts.summary = DefaultSummary(length);
+    opts.leaf_capacity = leaf_capacity;
+    opts.memory_budget_bytes = budget;
+    CheckOk(AdsIndex::Build(raw, dir.File("q-adsplus.pages"), opts,
+                            &f.ads_plus),
+            "ADS+ build");
+    opts.materialized = true;
+    CheckOk(AdsIndex::Build(raw, dir.File("q-adsfull.pages"), opts,
+                            &f.ads_full),
+            "ADSFull build");
+  }
+  return f;
+}
+
+}  // namespace bench
+}  // namespace coconut
+
+#endif  // COCONUT_BENCH_QUERY_FIXTURE_H_

@@ -1,0 +1,475 @@
+#include "src/baselines/dstree/dstree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include "src/series/distance.h"
+
+namespace coconut {
+
+namespace {
+
+/// Stat of one segment of a series (mean or stddev).
+double SegmentStat(const Value* series, size_t begin, size_t end,
+                   bool use_mean) {
+  const size_t len = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += series[i];
+  const double mean = sum / static_cast<double>(len);
+  if (use_mean) return mean;
+  double sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = series[i] - mean;
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(len));
+}
+
+}  // namespace
+
+Status DstreeIndex::Create(const DstreeOptions& options,
+                           const std::string& storage_path,
+                           std::unique_ptr<DstreeIndex>* out) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<DstreeIndex> index(new DstreeIndex());
+  index->options_ = options;
+  index->storage_path_ = storage_path;
+  COCONUT_RETURN_IF_ERROR(
+      WritableFile::Create(storage_path, &index->storage_write_));
+  COCONUT_RETURN_IF_ERROR(
+      RandomAccessFile::Open(storage_path, &index->storage_read_));
+  // Root: equal-width initial segmentation.
+  index->root_ = index->AllocNode();
+  Node& root = index->nodes_[index->root_];
+  const size_t seg_len = options.series_length / options.initial_segments;
+  for (size_t s = 1; s <= options.initial_segments; ++s) {
+    root.seg.push_back(s == options.initial_segments ? options.series_length
+                                                     : s * seg_len);
+  }
+  root.env.resize(root.seg.size());
+  index->num_leaves_ = 1;
+  *out = std::move(index);
+  return Status::OK();
+}
+
+int64_t DstreeIndex::AllocNode() {
+  nodes_.push_back(Node{});
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+Status DstreeIndex::Insert(const Value* series, uint64_t offset) {
+  int64_t id = root_;
+  std::vector<SegmentStats> stats;
+  while (true) {
+    Node& n = nodes_[id];
+    // Maintain the node envelope so lower bounds stay valid.
+    EapcaTransform(series, n.seg, &stats);
+    if (!n.env_valid) {
+      for (size_t s = 0; s < stats.size(); ++s) n.env[s].InitFrom(stats[s]);
+      n.env_valid = true;
+    } else {
+      for (size_t s = 0; s < stats.size(); ++s) n.env[s].Extend(stats[s]);
+    }
+    if (n.is_leaf) break;
+    const double v =
+        SegmentStat(series, n.route_begin, n.route_end, n.split_on_mean);
+    id = n.children[v < n.threshold ? 0 : 1];
+  }
+  return AppendToLeaf(id, series, offset);
+}
+
+Status DstreeIndex::AppendToLeaf(int64_t id, const Value* series,
+                                 uint64_t offset) {
+  const size_t eb = entry_bytes();
+  {
+    Node& n = nodes_[id];
+    const size_t old = n.buffer.size();
+    n.buffer.resize(old + eb);
+    std::memcpy(n.buffer.data() + old, &offset, 8);
+    std::memcpy(n.buffer.data() + old + 8, series,
+                options_.series_length * sizeof(Value));
+    ++n.total_count;
+    ++num_entries_;
+    buffered_bytes_ += eb;
+  }
+  if (nodes_[id].total_count > options_.leaf_capacity) {
+    std::vector<uint8_t> entries;
+    COCONUT_RETURN_IF_ERROR(ReadLeafEntries(nodes_[id], &entries));
+    Node& n = nodes_[id];
+    entries.insert(entries.end(), n.buffer.begin(), n.buffer.end());
+    buffered_bytes_ -= n.buffer.size();
+    n.buffer.clear();
+    n.buffer.shrink_to_fit();
+    COCONUT_RETURN_IF_ERROR(SplitLeaf(id, std::move(entries)));
+  } else if (buffered_bytes_ > options_.memory_budget_bytes) {
+    COCONUT_RETURN_IF_ERROR(FlushAll());
+  }
+  return Status::OK();
+}
+
+Status DstreeIndex::FlushAll() {
+  const size_t snapshot = nodes_.size();
+  for (size_t id = 0; id < snapshot; ++id) {
+    if (!nodes_[id].is_leaf || nodes_[id].buffer.empty()) continue;
+    COCONUT_RETURN_IF_ERROR(FlushLeaf(static_cast<int64_t>(id)));
+  }
+  return Status::OK();
+}
+
+Status DstreeIndex::FlushLeaf(int64_t id) {
+  std::vector<uint8_t> entries;
+  COCONUT_RETURN_IF_ERROR(ReadLeafEntries(nodes_[id], &entries));
+  Node& n = nodes_[id];
+  entries.insert(entries.end(), n.buffer.begin(), n.buffer.end());
+  buffered_bytes_ -= n.buffer.size();
+  n.buffer.clear();
+  n.buffer.shrink_to_fit();
+  return WriteLeafEntries(&nodes_[id], entries);
+}
+
+Status DstreeIndex::ReadLeafEntries(const Node& node,
+                                    std::vector<uint8_t>* out) {
+  out->clear();
+  const size_t eb = entry_bytes();
+  const size_t page_bytes = options_.leaf_capacity * eb;
+  std::vector<uint8_t> page(page_bytes);
+  uint64_t remaining = node.disk_count;
+  for (size_t p = 0; p < node.pages.size() && remaining > 0; ++p) {
+    const uint64_t in_page =
+        std::min<uint64_t>(remaining, options_.leaf_capacity);
+    COCONUT_RETURN_IF_ERROR(storage_read_->Read(
+        static_cast<uint64_t>(node.pages[p]) * page_bytes,
+        in_page * eb, page.data()));
+    out->insert(out->end(), page.data(), page.data() + in_page * eb);
+    remaining -= in_page;
+  }
+  return Status::OK();
+}
+
+Status DstreeIndex::WriteLeafEntries(Node* node,
+                                     const std::vector<uint8_t>& entries) {
+  const size_t eb = entry_bytes();
+  const size_t page_bytes = options_.leaf_capacity * eb;
+  const uint64_t count = entries.size() / eb;
+  const size_t pages_needed = static_cast<size_t>(std::max<uint64_t>(
+      1, (count + options_.leaf_capacity - 1) / options_.leaf_capacity));
+  while (node->pages.size() < pages_needed) {
+    node->pages.push_back(next_page_++);
+  }
+  std::vector<uint8_t> page(page_bytes, 0);
+  uint64_t written = 0;
+  for (size_t p = 0; p < pages_needed; ++p) {
+    const uint64_t in_page =
+        std::min<uint64_t>(count - written, options_.leaf_capacity);
+    // Only the occupied prefix of each page is written; allocation stays
+    // page-granular so sparse leaves still amplify space.
+    COCONUT_RETURN_IF_ERROR(storage_write_->WriteAt(
+        static_cast<uint64_t>(node->pages[p]) * page_bytes,
+        entries.data() + written * eb, in_page * eb));
+    written += in_page;
+  }
+  node->disk_count = count;
+  return Status::OK();
+}
+
+Status DstreeIndex::SplitLeaf(int64_t id, std::vector<uint8_t> entries) {
+  const size_t eb = entry_bytes();
+  const uint64_t count = entries.size() / eb;
+  const Segmentation seg = nodes_[id].seg;  // copy: nodes_ may reallocate
+
+  // Evaluate horizontal-split candidates: (segment, mean|stddev) scored by
+  // length-weighted squared value range (the wider the range, the more the
+  // envelope shrinks after splitting).
+  struct Candidate {
+    double score = -1.0;
+    int segment = -1;
+    bool use_mean = true;
+    bool vertical = false;
+    size_t v_point = 0;  // refinement point for vertical splits
+  };
+  Candidate best;
+  std::vector<double> values(count);
+  auto eval = [&](size_t begin, size_t end, bool use_mean, double* out_range,
+                  double* out_median) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const Value* series =
+          reinterpret_cast<const Value*>(entries.data() + i * eb + 8);
+      values[i] = SegmentStat(series, begin, end, use_mean);
+    }
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    *out_range = *mx - *mn;
+    const double min_value = *mn;
+    std::nth_element(values.begin(), values.begin() + count / 2,
+                     values.end());
+    double median = values[count / 2];
+    if (median <= min_value && *out_range > 0.0) {
+      // Everything below the median would be empty; route the minima left
+      // by using the smallest value strictly above the minimum.
+      double successor = std::numeric_limits<double>::infinity();
+      for (uint64_t i = 0; i < count; ++i) {
+        if (values[i] > min_value) successor = std::min(successor, values[i]);
+      }
+      median = successor;
+    }
+    *out_median = median;
+  };
+
+  double best_threshold = 0.0;
+  size_t begin = 0;
+  for (size_t s = 0; s < seg.size(); ++s) {
+    const size_t end = seg[s];
+    const double len = static_cast<double>(end - begin);
+    for (bool use_mean : {true, false}) {
+      double range, median;
+      eval(begin, end, use_mean, &range, &median);
+      const double score = len * range * range;
+      if (score > best.score && range > 0.0) {
+        best = {score, static_cast<int>(s), use_mean, false, 0};
+        best_threshold = median;
+      }
+      // Vertical candidate: refine this segment at its midpoint and split
+      // on the more discriminative half (paper's v-split, simplified).
+      const size_t mid = begin + (end - begin) / 2;
+      if (mid - begin >= options_.min_segment_length &&
+          end - mid >= options_.min_segment_length) {
+        for (const auto& [hb, he] : {std::pair{begin, mid},
+                                     std::pair{mid, end}}) {
+          double hrange, hmedian;
+          eval(hb, he, use_mean, &hrange, &hmedian);
+          const double hscore =
+              static_cast<double>(he - hb) * hrange * hrange;
+          if (hscore > best.score && hrange > 0.0) {
+            best = {hscore, static_cast<int>(s), use_mean, true, mid};
+            best_threshold = hmedian;
+          }
+        }
+      }
+    }
+    begin = end;
+  }
+  if (best.segment < 0) {
+    // All series identical on every candidate statistic: oversized leaf.
+    return WriteLeafEntries(&nodes_[id], entries);
+  }
+
+  // Child segmentation: refined for vertical splits.
+  Segmentation child_seg = seg;
+  int split_segment = best.segment;
+  if (best.vertical) {
+    child_seg.insert(child_seg.begin() + best.segment, best.v_point);
+    // After insertion, the candidate halves are segments `segment` (first
+    // half) and `segment + 1` (second half); the threshold was computed on
+    // the half starting at v_point only if that half won — recompute which.
+    // The winning half is identified by the stored v_point: first half ends
+    // at v_point, second half starts there. The eval loop assigned
+    // best_threshold from the winning half; route on that half.
+    const size_t seg_begin =
+        best.segment == 0 ? 0 : seg[best.segment - 1];
+    // Determine which half won by re-evaluating both (cheap).
+    double r1, m1, r2, m2;
+    eval(seg_begin, best.v_point, best.use_mean, &r1, &m1);
+    eval(best.v_point, seg[best.segment], best.use_mean, &r2, &m2);
+    const double s1 = static_cast<double>(best.v_point - seg_begin) * r1 * r1;
+    const double s2 =
+        static_cast<double>(seg[best.segment] - best.v_point) * r2 * r2;
+    split_segment = best.segment + (s2 > s1 ? 1 : 0);
+  }
+
+  const size_t split_begin =
+      split_segment == 0 ? 0 : child_seg[split_segment - 1];
+  const size_t split_end = child_seg[split_segment];
+
+  const int64_t left = AllocNode();
+  const int64_t right = AllocNode();
+  for (int64_t child : {left, right}) {
+    Node& c = nodes_[child];
+    c.seg = child_seg;
+    c.env.resize(child_seg.size());
+  }
+  {
+    Node& parent = nodes_[id];
+    parent.is_leaf = false;
+    parent.route_begin = split_begin;
+    parent.route_end = split_end;
+    parent.split_on_mean = best.use_mean;
+    parent.threshold = best_threshold;
+    parent.children[0] = left;
+    parent.children[1] = right;
+    // Left child inherits the parent's pages for rewriting.
+    nodes_[left].pages = std::move(parent.pages);
+    parent.pages.clear();
+    parent.disk_count = 0;
+    num_leaves_ += 1;
+  }
+
+  // Partition entries, extending the child envelopes.
+  std::vector<uint8_t> left_entries, right_entries;
+  std::vector<SegmentStats> stats;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* e = entries.data() + i * eb;
+    const Value* series = reinterpret_cast<const Value*>(e + 8);
+    const double v =
+        SegmentStat(series, split_begin, split_end, best.use_mean);
+    const int64_t child = v < best_threshold ? left : right;
+    std::vector<uint8_t>& dst =
+        (child == left) ? left_entries : right_entries;
+    dst.insert(dst.end(), e, e + eb);
+    Node& c = nodes_[child];
+    EapcaTransform(series, c.seg, &stats);
+    if (!c.env_valid) {
+      for (size_t s = 0; s < stats.size(); ++s) c.env[s].InitFrom(stats[s]);
+      c.env_valid = true;
+    } else {
+      for (size_t s = 0; s < stats.size(); ++s) c.env[s].Extend(stats[s]);
+    }
+    ++c.total_count;
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+
+  // Median split: both sides are non-empty unless all values tie, which
+  // range > 0 excludes... except when the median equals the minimum; guard:
+  if (left_entries.empty() || right_entries.empty()) {
+    // Degenerate split (should not happen given the threshold fix above):
+    // revert to an oversized leaf at the parent, reclaiming the pages that
+    // were handed to the left child.
+    std::vector<uint8_t>& full =
+        left_entries.empty() ? right_entries : left_entries;
+    std::vector<int64_t> pages = std::move(nodes_[left].pages);
+    Node& parent = nodes_[id];
+    parent.is_leaf = true;
+    parent.pages = std::move(pages);
+    parent.children[0] = parent.children[1] = -1;
+    num_leaves_ -= 1;
+    nodes_.pop_back();
+    nodes_.pop_back();
+    return WriteLeafEntries(&nodes_[id], full);
+  }
+
+  if (left_entries.size() / eb > options_.leaf_capacity) {
+    COCONUT_RETURN_IF_ERROR(SplitLeaf(left, std::move(left_entries)));
+  } else {
+    COCONUT_RETURN_IF_ERROR(WriteLeafEntries(&nodes_[left], left_entries));
+  }
+  if (right_entries.size() / eb > options_.leaf_capacity) {
+    COCONUT_RETURN_IF_ERROR(SplitLeaf(right, std::move(right_entries)));
+  } else {
+    COCONUT_RETURN_IF_ERROR(WriteLeafEntries(&nodes_[right], right_entries));
+  }
+  return Status::OK();
+}
+
+Status DstreeIndex::LeafTrueDistances(const Node& node, const Value* query,
+                                      double* best_sq, uint64_t* best_offset,
+                                      uint64_t* visited,
+                                      uint64_t* pages_read) {
+  std::vector<uint8_t> entries;
+  COCONUT_RETURN_IF_ERROR(ReadLeafEntries(node, &entries));
+  *pages_read += node.pages.size();
+  entries.insert(entries.end(), node.buffer.begin(), node.buffer.end());
+  const size_t eb = entry_bytes();
+  const size_t n = options_.series_length;
+  const uint64_t count = entries.size() / eb;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* e = entries.data() + i * eb;
+    const Value* series = reinterpret_cast<const Value*>(e + 8);
+    const double d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+    ++*visited;
+    if (d < *best_sq) {
+      *best_sq = d;
+      std::memcpy(best_offset, e, 8);
+    }
+  }
+  return Status::OK();
+}
+
+Status DstreeIndex::ApproxSearch(const Value* query, SearchResult* result) {
+  if (num_entries_ == 0) return Status::NotFound("empty index");
+  int64_t id = root_;
+  while (!nodes_[id].is_leaf) {
+    const Node& n = nodes_[id];
+    const double v =
+        SegmentStat(query, n.route_begin, n.route_end, n.split_on_mean);
+    id = n.children[v < n.threshold ? 0 : 1];
+  }
+  double best_sq = std::numeric_limits<double>::infinity();
+  uint64_t best_offset = 0;
+  uint64_t visited = 0;
+  uint64_t pages = 0;
+  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, &best_sq,
+                                            &best_offset, &visited, &pages));
+  result->offset = best_offset;
+  result->distance = std::sqrt(best_sq);
+  result->visited_records = visited;
+  result->leaves_read = pages;
+  return Status::OK();
+}
+
+Status DstreeIndex::ExactSearch(const Value* query, SearchResult* result) {
+  SearchResult approx;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
+  double bsf_sq = approx.distance * approx.distance;
+  uint64_t best_offset = approx.offset;
+  uint64_t visited = approx.visited_records;
+  uint64_t pages = approx.leaves_read;
+
+  std::vector<SegmentStats> query_stats;
+  using Item = std::pair<double, int64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0.0, root_});
+  while (!pq.empty()) {
+    const auto [lb, id] = pq.top();
+    pq.pop();
+    if (lb >= bsf_sq) break;
+    const Node& n = nodes_[id];
+    if (n.is_leaf) {
+      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, &bsf_sq,
+                                                &best_offset, &visited,
+                                                &pages));
+      continue;
+    }
+    for (int64_t child : n.children) {
+      const Node& c = nodes_[child];
+      if (!c.env_valid) continue;  // never received a series
+      EapcaTransform(query, c.seg, &query_stats);
+      pq.push({EapcaLowerBoundSq(query_stats, c.env, c.seg), child});
+    }
+  }
+  result->offset = best_offset;
+  result->distance = std::sqrt(bsf_sq);
+  result->visited_records = visited;
+  result->leaves_read = pages;
+  return Status::OK();
+}
+
+double DstreeIndex::AvgLeafFill() const {
+  if (next_page_ == 0) return 0.0;
+  return static_cast<double>(num_entries_) /
+         (static_cast<double>(next_page_) *
+          static_cast<double>(options_.leaf_capacity));
+}
+
+uint64_t DstreeIndex::StorageBytes() const {
+  // Disk-block-granular accounting, mirroring Isax2Index::StorageBytes.
+  constexpr uint64_t kBlock = 4096;
+  uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (!n.is_leaf) continue;
+    const uint64_t occupied = n.total_count * entry_bytes();
+    total += std::max<uint64_t>(1, (occupied + kBlock - 1) / kBlock) * kBlock;
+  }
+  return total;
+}
+
+size_t DstreeIndex::MaxSegments() const {
+  size_t max_segments = 0;
+  for (const Node& n : nodes_) {
+    max_segments = std::max(max_segments, n.seg.size());
+  }
+  return max_segments;
+}
+
+}  // namespace coconut

@@ -1,0 +1,133 @@
+// DSTree (Wang et al., PVLDB 2013): a data-adaptive and dynamic segmentation
+// index over EAPCA summarizations — the slowest-to-build baseline in the
+// paper's evaluation (Fig 8a: "DSTree requires more than 24 hours in most
+// cases, as it inserts all data series in the index one by one, in a
+// top-down fashion").
+//
+// Every node carries its own segmentation and, per segment, the min/max
+// envelope of the resident series' means and standard deviations. Internal
+// nodes route by a split rule (segment, mean-or-stddev, threshold). Leaf
+// overflow triggers a split that picks the (segment, statistic) whose value
+// range is widest (weighted by segment length), using the median as the
+// threshold; when a long segment's halves discriminate better, the split
+// refines the segmentation first (the paper's vertical split, simplified to
+// a midpoint refinement — see DESIGN.md).
+//
+// Exact search is best-first over the EAPCA lower bound (summary/eapca.h),
+// which provably lower-bounds Euclidean distance, with true distances
+// computed at the leaves.
+#ifndef COCONUT_BASELINES_DSTREE_DSTREE_INDEX_H_
+#define COCONUT_BASELINES_DSTREE_DSTREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/coconut_options.h"
+#include "src/io/file.h"
+#include "src/series/series.h"
+#include "src/summary/eapca.h"
+
+namespace coconut {
+
+struct DstreeOptions {
+  size_t series_length = 256;
+  /// Number of equal segments in the root segmentation.
+  size_t initial_segments = 4;
+  size_t leaf_capacity = 2000;
+  /// Buffered-insert budget; exceeding it flushes leaf buffers to disk.
+  size_t memory_budget_bytes = 256ull * 1024 * 1024;
+  /// Minimum sub-segment length produced by vertical splits.
+  size_t min_segment_length = 4;
+
+  Status Validate() const {
+    if (series_length == 0 || initial_segments == 0 ||
+        initial_segments > series_length) {
+      return Status::InvalidArgument("bad series_length/initial_segments");
+    }
+    if (leaf_capacity == 0) {
+      return Status::InvalidArgument("leaf_capacity must be > 0");
+    }
+    return Status::OK();
+  }
+};
+
+class DstreeIndex {
+ public:
+  /// Creates an empty index storing leaf pages in `storage_path`.
+  static Status Create(const DstreeOptions& options,
+                       const std::string& storage_path,
+                       std::unique_ptr<DstreeIndex>* out);
+
+  /// Top-down insertion. `offset` identifies the series (raw-file byte
+  /// position); the payload is stored inside the leaf (materialized).
+  Status Insert(const Value* series, uint64_t offset);
+
+  Status FlushAll();
+
+  /// Greedy descent by split rules; true distances over the target leaf.
+  Status ApproxSearch(const Value* query, SearchResult* result);
+
+  /// Best-first exact search over EAPCA lower bounds.
+  Status ExactSearch(const Value* query, SearchResult* result);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_leaves() const { return num_leaves_; }
+  double AvgLeafFill() const;
+  uint64_t StorageBytes() const;
+  /// Maximum segments across nodes (shows the adaptive refinement).
+  size_t MaxSegments() const;
+
+ private:
+  DstreeIndex() = default;
+
+  struct Node {
+    Segmentation seg;
+    std::vector<SegmentEnvelope> env;
+    bool env_valid = false;  // becomes true on first routed series
+    bool is_leaf = true;
+    // Split rule (internal nodes): routes on the statistic of the series
+    // over the absolute point range [route_begin, route_end) — absolute so
+    // the rule stays valid even though children refine their segmentation.
+    size_t route_begin = 0;
+    size_t route_end = 0;
+    bool split_on_mean = true;
+    double threshold = 0.0;
+    int64_t children[2] = {-1, -1};
+    // Leaf storage.
+    std::vector<int64_t> pages;
+    uint64_t disk_count = 0;
+    std::vector<uint8_t> buffer;
+    uint64_t total_count = 0;
+  };
+
+  size_t entry_bytes() const {
+    return 8 + options_.series_length * sizeof(Value);
+  }
+  Status AppendToLeaf(int64_t id, const Value* series, uint64_t offset);
+  Status FlushLeaf(int64_t id);
+  Status ReadLeafEntries(const Node& node, std::vector<uint8_t>* out);
+  Status WriteLeafEntries(Node* node, const std::vector<uint8_t>& entries);
+  Status SplitLeaf(int64_t id, std::vector<uint8_t> entries);
+  Status LeafTrueDistances(const Node& node, const Value* query,
+                           double* best_sq, uint64_t* best_offset,
+                           uint64_t* visited, uint64_t* pages_read);
+  int64_t AllocNode();
+
+  DstreeOptions options_;
+  std::string storage_path_;
+  std::unique_ptr<WritableFile> storage_write_;
+  std::unique_ptr<RandomAccessFile> storage_read_;
+  std::vector<Node> nodes_;
+  int64_t root_ = -1;
+  int64_t next_page_ = 0;
+  uint64_t num_entries_ = 0;
+  uint64_t num_leaves_ = 0;
+  size_t buffered_bytes_ = 0;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_BASELINES_DSTREE_DSTREE_INDEX_H_

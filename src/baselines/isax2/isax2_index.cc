@@ -1,0 +1,562 @@
+#include "src/baselines/isax2/isax2_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include "src/series/distance.h"
+#include "src/summary/mindist.h"
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+
+namespace {
+
+/// Keeps the top `bits` bits of a full-cardinality symbol, zeroing the rest.
+inline uint8_t MaskSymbol(uint8_t symbol, unsigned bits, unsigned card_bits) {
+  if (bits == 0) return 0;
+  const uint8_t mask =
+      static_cast<uint8_t>(0xFFu << (card_bits - bits));
+  return static_cast<uint8_t>(symbol & mask);
+}
+
+}  // namespace
+
+Status Isax2Index::Create(const Isax2Options& options,
+                          const std::string& storage_path,
+                          const std::string& raw_path,
+                          std::unique_ptr<Isax2Index>* out) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  if (options.summary.segments > 32) {
+    return Status::InvalidArgument("iSAX root fan-out supports <= 32 segments");
+  }
+  std::unique_ptr<Isax2Index> index(new Isax2Index());
+  index->options_ = options;
+  index->entry_bytes_ = options.summary.segments + 8 +
+                        (options.materialized
+                             ? options.summary.series_length * sizeof(Value)
+                             : 0);
+  index->storage_path_ = storage_path;
+  COCONUT_RETURN_IF_ERROR(
+      WritableFile::Create(storage_path, &index->storage_write_));
+  COCONUT_RETURN_IF_ERROR(
+      RandomAccessFile::Open(storage_path, &index->storage_read_));
+  COCONUT_RETURN_IF_ERROR(RawSeriesFile::Open(
+      raw_path, options.summary.series_length, &index->raw_file_));
+  *out = std::move(index);
+  return Status::OK();
+}
+
+int64_t Isax2Index::AllocNode() {
+  nodes_.push_back(Node{});
+  Node& n = nodes_.back();
+  n.symbols.assign(options_.summary.segments, 0);
+  n.bits.assign(options_.summary.segments, 0);
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+Status Isax2Index::DescendToLeaf(const uint8_t* sax, int64_t* leaf_id) {
+  const unsigned card = options_.summary.cardinality_bits;
+  const size_t w = options_.summary.segments;
+  // Root fan-out: the first bit of every segment (paper Figure 3).
+  uint32_t root_key = 0;
+  for (size_t j = 0; j < w; ++j) {
+    root_key |= static_cast<uint32_t>((sax[j] >> (card - 1)) & 1u) << j;
+  }
+  auto it = root_children_.find(root_key);
+  int64_t id;
+  if (it == root_children_.end()) {
+    id = AllocNode();
+    Node& n = nodes_[id];
+    for (size_t j = 0; j < w; ++j) {
+      n.bits[j] = 1;
+      n.symbols[j] = MaskSymbol(sax[j], 1, card);
+    }
+    root_children_[root_key] = id;
+    ++num_leaves_;
+  } else {
+    id = it->second;
+  }
+  while (!nodes_[id].is_leaf) {
+    const Node& n = nodes_[id];
+    const int s = n.split_segment;
+    const unsigned child_bits = n.bits[s] + 1u;
+    const uint32_t bit = (sax[s] >> (card - child_bits)) & 1u;
+    id = n.children[bit];
+  }
+  *leaf_id = id;
+  return Status::OK();
+}
+
+Status Isax2Index::Insert(const Value* series, uint64_t offset) {
+  std::vector<uint8_t> sax(options_.summary.segments);
+  SaxFromSeries(series, options_.summary, sax.data());
+  return InsertSummary(sax.data(), offset, series);
+}
+
+Status Isax2Index::InsertSummary(const uint8_t* sax, uint64_t offset,
+                                 const Value* series) {
+  if (options_.materialized && series == nullptr) {
+    return Status::InvalidArgument(
+        "materialized insert requires the series payload");
+  }
+  int64_t leaf;
+  COCONUT_RETURN_IF_ERROR(DescendToLeaf(sax, &leaf));
+  std::vector<uint8_t> entry(entry_bytes_);
+  const size_t w = options_.summary.segments;
+  std::memcpy(entry.data(), sax, w);
+  std::memcpy(entry.data() + w, &offset, 8);
+  if (options_.materialized) {
+    std::memcpy(entry.data() + w + 8, series,
+                options_.summary.series_length * sizeof(Value));
+  }
+  return AppendToLeaf(leaf, entry.data());
+}
+
+Status Isax2Index::AppendToLeaf(int64_t leaf_id, const uint8_t* entry) {
+  Node& n = nodes_[leaf_id];
+  n.buffer.insert(n.buffer.end(), entry, entry + entry_bytes_);
+  ++n.total_count;
+  ++num_entries_;
+  buffered_bytes_ += entry_bytes_;
+  if (buffered_bytes_ > options_.memory_budget_bytes) {
+    COCONUT_RETURN_IF_ERROR(FlushAll());
+  }
+  return Status::OK();
+}
+
+Status Isax2Index::FlushAll() {
+  // Splits append to nodes_; the snapshot is safe because newly created
+  // leaves are written out immediately and have empty buffers.
+  const size_t snapshot = nodes_.size();
+  for (size_t id = 0; id < snapshot; ++id) {
+    if (nodes_[id].is_leaf && !nodes_[id].buffer.empty()) {
+      COCONUT_RETURN_IF_ERROR(FlushLeaf(static_cast<int64_t>(id)));
+    }
+  }
+  return Status::OK();
+}
+
+Status Isax2Index::ReadLeafEntries(const Node& node,
+                                   std::vector<uint8_t>* out) {
+  out->clear();
+  const size_t page_bytes = options_.leaf_capacity * entry_bytes_;
+  std::vector<uint8_t> page(page_bytes);
+  uint64_t remaining = node.disk_count;
+  for (size_t p = 0; p < node.pages.size() && remaining > 0; ++p) {
+    const uint64_t in_page =
+        std::min<uint64_t>(remaining, options_.leaf_capacity);
+    COCONUT_RETURN_IF_ERROR(storage_read_->Read(
+        static_cast<uint64_t>(node.pages[p]) * page_bytes,
+        in_page * entry_bytes_, page.data()));
+    out->insert(out->end(), page.data(),
+                page.data() + in_page * entry_bytes_);
+    remaining -= in_page;
+  }
+  return Status::OK();
+}
+
+Status Isax2Index::WriteLeafEntries(Node* node,
+                                    const std::vector<uint8_t>& entries) {
+  const size_t page_bytes = options_.leaf_capacity * entry_bytes_;
+  const uint64_t count = entries.size() / entry_bytes_;
+  const size_t pages_needed = static_cast<size_t>(
+      std::max<uint64_t>(1, (count + options_.leaf_capacity - 1) /
+                                options_.leaf_capacity));
+  while (node->pages.size() < pages_needed) {
+    node->pages.push_back(next_page_++);
+  }
+  std::vector<uint8_t> page(page_bytes, 0);
+  uint64_t written = 0;
+  for (size_t p = 0; p < pages_needed; ++p) {
+    const uint64_t in_page =
+        std::min<uint64_t>(count - written, options_.leaf_capacity);
+    // Only the occupied prefix of the page is written (allocation stays
+    // page-granular, preserving the space amplification of sparse leaves).
+    // Leaf pages are scattered over the storage file (allocation order), so
+    // these writes are classified random — the paper's non-contiguity.
+    COCONUT_RETURN_IF_ERROR(storage_write_->WriteAt(
+        static_cast<uint64_t>(node->pages[p]) * page_bytes,
+        entries.data() + written * entry_bytes_, in_page * entry_bytes_));
+    written += in_page;
+  }
+  node->disk_count = count;
+  return Status::OK();
+}
+
+Status Isax2Index::FlushLeaf(int64_t leaf_id) {
+  std::vector<uint8_t> entries;
+  COCONUT_RETURN_IF_ERROR(ReadLeafEntries(nodes_[leaf_id], &entries));
+  {
+    Node& n = nodes_[leaf_id];
+    entries.insert(entries.end(), n.buffer.begin(), n.buffer.end());
+    buffered_bytes_ -= n.buffer.size();
+    n.buffer.clear();
+    n.buffer.shrink_to_fit();
+  }
+  const uint64_t count = entries.size() / entry_bytes_;
+  if (count <= options_.leaf_capacity || nodes_[leaf_id].unsplittable) {
+    return WriteLeafEntries(&nodes_[leaf_id], entries);
+  }
+  return SplitLeaf(leaf_id, std::move(entries), options_.leaf_capacity);
+}
+
+int Isax2Index::ChooseSplitSegment(
+    const Node& node, const std::vector<uint8_t>& entries) const {
+  const unsigned card = options_.summary.cardinality_bits;
+  const size_t w = options_.summary.segments;
+  const uint64_t count = entries.size() / entry_bytes_;
+  int best = -1;
+  uint64_t best_balance = 0;
+  unsigned best_bits = card + 1;
+  for (size_t j = 0; j < w; ++j) {
+    if (node.bits[j] >= card) continue;
+    uint64_t ones = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint8_t sym = entries[i * entry_bytes_ + j];
+      ones += (sym >> (card - node.bits[j] - 1)) & 1u;
+    }
+    const uint64_t balance = std::min(ones, count - ones);
+    if (balance == 0) continue;  // does not divide the series at all
+    // Prefer the most even division; break ties toward the least-refined
+    // segment (iSAX 2.0's round-robin tendency).
+    if (balance > best_balance ||
+        (balance == best_balance && node.bits[j] < best_bits)) {
+      best = static_cast<int>(j);
+      best_balance = balance;
+      best_bits = node.bits[j];
+    }
+  }
+  return best;
+}
+
+Status Isax2Index::SplitLeaf(int64_t leaf_id, std::vector<uint8_t> entries,
+                             size_t target) {
+  const int s = ChooseSplitSegment(nodes_[leaf_id], entries);
+  if (s < 0) {
+    // Identical prefixes on every splittable bit: an unsplittable jumbo
+    // leaf, stored across overflow pages.
+    nodes_[leaf_id].unsplittable = true;
+    return WriteLeafEntries(&nodes_[leaf_id], entries);
+  }
+  const unsigned card = options_.summary.cardinality_bits;
+  const int64_t left = AllocNode();
+  const int64_t right = AllocNode();
+  {
+    Node& parent = nodes_[leaf_id];
+    for (int64_t child_id : {left, right}) {
+      Node& c = nodes_[child_id];
+      c.symbols = parent.symbols;
+      c.bits = parent.bits;
+      c.bits[s] = static_cast<uint8_t>(parent.bits[s] + 1);
+    }
+    nodes_[right].symbols[s] = static_cast<uint8_t>(
+        nodes_[right].symbols[s] | (1u << (card - parent.bits[s] - 1)));
+    // The left child inherits the parent's pages (rewritten below); the
+    // right child allocates fresh pages elsewhere in the file.
+    nodes_[left].pages = std::move(parent.pages);
+    parent.pages.clear();
+    parent.is_leaf = false;
+    parent.split_segment = s;
+    parent.children[0] = left;
+    parent.children[1] = right;
+    parent.disk_count = 0;
+    num_leaves_ += 1;  // one leaf became two
+  }
+
+  const uint64_t count = entries.size() / entry_bytes_;
+  const unsigned child_bit_pos = card - nodes_[left].bits[s];
+  std::vector<uint8_t> left_entries, right_entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* e = entries.data() + i * entry_bytes_;
+    const uint32_t bit = (e[s] >> child_bit_pos) & 1u;
+    std::vector<uint8_t>& dst = bit ? right_entries : left_entries;
+    dst.insert(dst.end(), e, e + entry_bytes_);
+  }
+  entries.clear();
+  entries.shrink_to_fit();
+  nodes_[left].total_count = left_entries.size() / entry_bytes_;
+  nodes_[right].total_count = right_entries.size() / entry_bytes_;
+
+  if (left_entries.size() / entry_bytes_ > target) {
+    COCONUT_RETURN_IF_ERROR(SplitLeaf(left, std::move(left_entries), target));
+  } else {
+    COCONUT_RETURN_IF_ERROR(WriteLeafEntries(&nodes_[left], left_entries));
+  }
+  if (right_entries.size() / entry_bytes_ > target) {
+    COCONUT_RETURN_IF_ERROR(
+        SplitLeaf(right, std::move(right_entries), target));
+  } else {
+    COCONUT_RETURN_IF_ERROR(WriteLeafEntries(&nodes_[right], right_entries));
+  }
+  return Status::OK();
+}
+
+int64_t Isax2Index::FindLeaf(const uint8_t* sax) const {
+  const unsigned card = options_.summary.cardinality_bits;
+  const size_t w = options_.summary.segments;
+  uint32_t root_key = 0;
+  for (size_t j = 0; j < w; ++j) {
+    root_key |= static_cast<uint32_t>((sax[j] >> (card - 1)) & 1u) << j;
+  }
+  auto it = root_children_.find(root_key);
+  if (it == root_children_.end()) return -1;
+  int64_t id = it->second;
+  while (!nodes_[id].is_leaf) {
+    const Node& n = nodes_[id];
+    const int s = n.split_segment;
+    const unsigned child_bits = n.bits[s] + 1u;
+    const uint32_t bit = (sax[s] >> (card - child_bits)) & 1u;
+    id = n.children[bit];
+  }
+  return id;
+}
+
+Status Isax2Index::RefineLeafFor(const uint8_t* sax, size_t target) {
+  const int64_t leaf = FindLeaf(sax);
+  if (leaf < 0) return Status::OK();  // query subtree does not exist
+  if (nodes_[leaf].total_count <= target || nodes_[leaf].unsplittable) {
+    return Status::OK();
+  }
+  std::vector<uint8_t> entries;
+  COCONUT_RETURN_IF_ERROR(ReadLeafEntries(nodes_[leaf], &entries));
+  {
+    Node& n = nodes_[leaf];
+    entries.insert(entries.end(), n.buffer.begin(), n.buffer.end());
+    buffered_bytes_ -= n.buffer.size();
+    n.buffer.clear();
+  }
+  return SplitLeaf(leaf, std::move(entries), target);
+}
+
+Status Isax2Index::LeafTrueDistances(const Node& node, const Value* query,
+                                     const double* query_paa, double* best_sq,
+                                     uint64_t* best_offset, uint64_t* visited,
+                                     uint64_t* pages_read) {
+  std::vector<uint8_t> entries;
+  COCONUT_RETURN_IF_ERROR(ReadLeafEntries(node, &entries));
+  *pages_read += node.pages.size();
+  entries.insert(entries.end(), node.buffer.begin(), node.buffer.end());
+  const size_t w = options_.summary.segments;
+  const size_t n = options_.summary.series_length;
+  const uint64_t count = entries.size() / entry_bytes_;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint8_t* e = entries.data() + i * entry_bytes_;
+    double d;
+    if (options_.materialized) {
+      const Value* series = reinterpret_cast<const Value*>(e + w + 8);
+      d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+    } else {
+      uint64_t offset;
+      std::memcpy(&offset, e + w, 8);
+      fetch_buf_.resize(n);
+      COCONUT_RETURN_IF_ERROR(raw_file_->ReadAt(offset, fetch_buf_.data()));
+      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, *best_sq);
+    }
+    ++*visited;
+    if (d < *best_sq) {
+      *best_sq = d;
+      std::memcpy(best_offset, e + w, 8);
+    }
+  }
+  return Status::OK();
+}
+
+Status Isax2Index::ApproxSearch(const Value* query, SearchResult* result) {
+  if (root_children_.empty()) return Status::NotFound("empty index");
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+  std::vector<uint8_t> sax(sum.segments);
+  SaxFromPaa(paa.data(), sum, sax.data());
+
+  // Follow the query's own path if that root subtree exists; otherwise pick
+  // the root child with the smallest lower bound.
+  const unsigned card = sum.cardinality_bits;
+  uint32_t root_key = 0;
+  for (size_t j = 0; j < sum.segments; ++j) {
+    root_key |= static_cast<uint32_t>((sax[j] >> (card - 1)) & 1u) << j;
+  }
+  int64_t id = -1;
+  auto it = root_children_.find(root_key);
+  if (it != root_children_.end()) {
+    id = it->second;
+  } else {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [key, child] : root_children_) {
+      const Node& n = nodes_[child];
+      const double lb = MindistSqPaaToSaxPrefix(paa.data(), n.symbols.data(),
+                                                n.bits.data(), sum);
+      if (lb < best) {
+        best = lb;
+        id = child;
+      }
+    }
+  }
+  while (!nodes_[id].is_leaf) {
+    const Node& n = nodes_[id];
+    const int s = n.split_segment;
+    const unsigned child_bits = n.bits[s] + 1u;
+    const uint32_t bit = (sax[s] >> (card - child_bits)) & 1u;
+    id = n.children[bit];
+  }
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  uint64_t best_offset = 0;
+  uint64_t visited = 0;
+  uint64_t pages = 0;
+  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, paa.data(),
+                                            &best_sq, &best_offset, &visited,
+                                            &pages));
+  result->offset = best_offset;
+  result->distance = std::sqrt(best_sq);
+  result->visited_records = visited;
+  result->leaves_read = pages;
+  return Status::OK();
+}
+
+Status Isax2Index::ExactSearch(const Value* query, SearchResult* result) {
+  SearchResult approx;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
+  double bsf_sq = approx.distance * approx.distance;
+  uint64_t best_offset = approx.offset;
+  uint64_t visited = approx.visited_records;
+  uint64_t pages = approx.leaves_read;
+
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+
+  using Item = std::pair<double, int64_t>;  // (mindist_sq, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (const auto& [key, child] : root_children_) {
+    const Node& n = nodes_[child];
+    pq.push({MindistSqPaaToSaxPrefix(paa.data(), n.symbols.data(),
+                                     n.bits.data(), sum),
+             child});
+  }
+  while (!pq.empty()) {
+    const auto [lb, id] = pq.top();
+    pq.pop();
+    if (lb >= bsf_sq) break;  // everything else is pruned
+    const Node& n = nodes_[id];
+    if (n.is_leaf) {
+      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, paa.data(), &bsf_sq,
+                                                &best_offset, &visited,
+                                                &pages));
+    } else {
+      for (int64_t child : n.children) {
+        const Node& c = nodes_[child];
+        pq.push({MindistSqPaaToSaxPrefix(paa.data(), c.symbols.data(),
+                                         c.bits.data(), sum),
+                 child});
+      }
+    }
+  }
+  result->offset = best_offset;
+  result->distance = std::sqrt(bsf_sq);
+  result->visited_records = visited;
+  result->leaves_read = pages;
+  return Status::OK();
+}
+
+Status Isax2Index::ReopenRaw() {
+  const std::string path = raw_file_->path();
+  return RawSeriesFile::Open(path, options_.summary.series_length,
+                             &raw_file_);
+}
+
+Status Isax2Index::MaterializeInto(const std::string& storage_path) {
+  if (options_.materialized) {
+    return Status::InvalidArgument("index is already materialized");
+  }
+  COCONUT_RETURN_IF_ERROR(FlushAll());
+  const size_t w = options_.summary.segments;
+  const size_t series_len = options_.summary.series_length;
+  const size_t new_entry_bytes = w + 8 + series_len * sizeof(Value);
+
+  // Raw-data source: cache if the budget allows, else random per-series
+  // fetches (leaf order is unrelated to file order).
+  std::vector<Value> raw_cache;
+  const bool cached =
+      raw_file_->size_bytes() <= options_.memory_budget_bytes &&
+      raw_file_->LoadAll(options_.memory_budget_bytes, &raw_cache).ok();
+
+  std::unique_ptr<WritableFile> new_write;
+  COCONUT_RETURN_IF_ERROR(WritableFile::Create(storage_path, &new_write));
+
+  const size_t new_page_bytes = options_.leaf_capacity * new_entry_bytes;
+  std::vector<uint8_t> page(new_page_bytes);
+  std::vector<Value> series(series_len);
+  int64_t new_next_page = 0;
+  for (Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    std::vector<uint8_t> entries;
+    COCONUT_RETURN_IF_ERROR(ReadLeafEntries(node, &entries));
+    const uint64_t count = entries.size() / entry_bytes_;
+    std::vector<int64_t> new_pages;
+    uint64_t i = 0;
+    while (i < count || (count == 0 && new_pages.empty())) {
+      const uint64_t in_page =
+          std::min<uint64_t>(count - i, options_.leaf_capacity);
+      for (uint64_t k = 0; k < in_page; ++k, ++i) {
+        const uint8_t* e = entries.data() + i * entry_bytes_;
+        uint64_t offset;
+        std::memcpy(&offset, e + w, 8);
+        const Value* src;
+        if (cached) {
+          src = raw_cache.data() + offset / sizeof(Value);
+        } else {
+          COCONUT_RETURN_IF_ERROR(raw_file_->ReadAt(offset, series.data()));
+          src = series.data();
+        }
+        uint8_t* slot = page.data() + k * new_entry_bytes;
+        std::memcpy(slot, e, w + 8);
+        std::memcpy(slot + w + 8, src, series_len * sizeof(Value));
+      }
+      // Only the occupied prefix is written; allocation is page-granular.
+      COCONUT_RETURN_IF_ERROR(new_write->WriteAt(
+          static_cast<uint64_t>(new_next_page) * new_page_bytes, page.data(),
+          in_page * new_entry_bytes));
+      new_pages.push_back(new_next_page++);
+      if (count == 0) break;
+    }
+    node.pages = std::move(new_pages);
+    node.disk_count = count;
+  }
+
+  storage_write_ = std::move(new_write);
+  storage_path_ = storage_path;
+  COCONUT_RETURN_IF_ERROR(
+      RandomAccessFile::Open(storage_path, &storage_read_));
+  entry_bytes_ = new_entry_bytes;
+  next_page_ = new_next_page;
+  options_.materialized = true;
+  return Status::OK();
+}
+
+double Isax2Index::AvgLeafFill() const {
+  if (next_page_ == 0) return 0.0;
+  return static_cast<double>(num_entries_) /
+         (static_cast<double>(next_page_) *
+          static_cast<double>(options_.leaf_capacity));
+}
+
+uint64_t Isax2Index::StorageBytes() const {
+  // Disk-block-granular accounting (4 KiB blocks, one block minimum per
+  // leaf): every leaf occupies its entries rounded up to whole blocks, the
+  // allocation a per-leaf-file layout (as in the original ADS) would use.
+  constexpr uint64_t kBlock = 4096;
+  uint64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (!n.is_leaf) continue;
+    const uint64_t occupied = n.total_count * entry_bytes_;
+    total += std::max<uint64_t>(1, (occupied + kBlock - 1) / kBlock) * kBlock;
+  }
+  return total;
+}
+
+}  // namespace coconut

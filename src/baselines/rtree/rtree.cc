@@ -1,0 +1,414 @@
+#include "src/baselines/rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include "src/common/env.h"
+#include "src/common/timer.h"
+#include "src/io/buffered_io.h"
+#include "src/series/distance.h"
+#include "src/sort/external_sort.h"
+#include "src/summary/mindist.h"
+#include "src/summary/paa.h"
+
+namespace coconut {
+
+namespace {
+
+/// Order-preserving big-endian encoding of a float: unsigned comparison of
+/// the encoding equals numeric comparison of the float.
+void EncodeFloatKey(float v, uint8_t* out) {
+  uint32_t u;
+  std::memcpy(&u, &v, 4);
+  u = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+  out[0] = static_cast<uint8_t>(u >> 24);
+  out[1] = static_cast<uint8_t>(u >> 16);
+  out[2] = static_cast<uint8_t>(u >> 8);
+  out[3] = static_cast<uint8_t>(u);
+}
+
+/// STR slab record: [sort key: 4][paa: w * 4][offset: 8][series?].
+struct StrLayout {
+  size_t w;
+  size_t series_len;
+  bool materialized;
+
+  size_t payload_bytes() const {
+    return w * 4 + 8 + (materialized ? series_len * sizeof(Value) : 0);
+  }
+  size_t record_bytes() const { return 4 + payload_bytes(); }
+
+  float Dim(const uint8_t* rec, size_t d) const {
+    float v;
+    std::memcpy(&v, rec + 4 + d * 4, 4);
+    return v;
+  }
+  void SetKey(uint8_t* rec, size_t d) const {
+    EncodeFloatKey(Dim(rec, d), rec);
+  }
+};
+
+/// Recursive STR: sorts `path` (count records) by dimension `dim`, then
+/// either emits leaf runs (count <= capacity) or splits into slabs and
+/// recurses with the next dimension. Emitted records (payload only, key
+/// stripped) arrive at `emit` in final leaf order.
+Status StrPartition(const std::string& path, uint64_t count, size_t dim,
+                    const StrLayout& layout, const RtreeOptions& options,
+                    const std::string& tmp_dir, uint64_t* next_tmp_id,
+                    size_t* sort_passes, BufferedWriter* emit) {
+  // Sort this range by `dim` (keys are rewritten for the current dim).
+  ExternalSortOptions so;
+  so.record_bytes = layout.record_bytes();
+  so.key_bytes = 4;
+  so.memory_budget_bytes = options.memory_budget_bytes;
+  so.tmp_dir = tmp_dir;
+  ExternalSorter sorter(so);
+  {
+    BufferedReader reader;
+    COCONUT_RETURN_IF_ERROR(reader.Open(path));
+    std::vector<uint8_t> rec(layout.record_bytes());
+    for (uint64_t i = 0; i < count; ++i) {
+      COCONUT_RETURN_IF_ERROR(reader.Read(rec.data(), rec.size()));
+      layout.SetKey(rec.data(), dim);
+      COCONUT_RETURN_IF_ERROR(sorter.Add(rec.data()));
+    }
+  }
+  ++*sort_passes;
+  std::unique_ptr<SortedRecordStream> sorted;
+  COCONUT_RETURN_IF_ERROR(sorter.Finish(&sorted));
+
+  const size_t dims = layout.w;
+  const uint64_t cap = options.leaf_capacity;
+  if (count <= cap || dim + 1 >= dims) {
+    // Emit leaf runs directly (the last dimension chops into pages).
+    std::vector<uint8_t> rec(layout.record_bytes());
+    Status st;
+    while (sorted->Next(rec.data(), &st)) {
+      COCONUT_RETURN_IF_ERROR(
+          emit->Write(rec.data() + 4, layout.payload_bytes()));
+    }
+    return st;
+  }
+
+  // Slab count: S = ceil((P)^(1/(D-d))) with P = pages in this range.
+  const double pages = std::ceil(static_cast<double>(count) / cap);
+  const double power = 1.0 / static_cast<double>(dims - dim);
+  const uint64_t slabs = std::max<uint64_t>(
+      2, static_cast<uint64_t>(std::ceil(std::pow(pages, power))));
+  const uint64_t slab_size = (count + slabs - 1) / slabs;
+
+  std::vector<uint8_t> rec(layout.record_bytes());
+  Status st;
+  uint64_t emitted = 0;
+  while (emitted < count) {
+    const uint64_t this_slab = std::min<uint64_t>(slab_size, count - emitted);
+    const std::string slab_path = JoinPath(
+        tmp_dir, "str-slab-" + std::to_string((*next_tmp_id)++) + ".bin");
+    {
+      BufferedWriter slab;
+      COCONUT_RETURN_IF_ERROR(slab.Open(slab_path));
+      for (uint64_t i = 0; i < this_slab; ++i) {
+        if (!sorted->Next(rec.data(), &st)) {
+          COCONUT_RETURN_IF_ERROR(st);
+          return Status::Internal("STR slab underflow");
+        }
+        COCONUT_RETURN_IF_ERROR(slab.Write(rec.data(), rec.size()));
+      }
+      COCONUT_RETURN_IF_ERROR(slab.Finish());
+    }
+    COCONUT_RETURN_IF_ERROR(StrPartition(slab_path, this_slab, dim + 1,
+                                         layout, options, tmp_dir,
+                                         next_tmp_id, sort_passes, emit));
+    COCONUT_RETURN_IF_ERROR(RemoveAll(slab_path));
+    emitted += this_slab;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTree::Build(const std::string& raw_path,
+                    const std::string& storage_path,
+                    const RtreeOptions& options, std::unique_ptr<RTree>* out,
+                    RtreeBuildStats* stats) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  RtreeBuildStats local;
+  RtreeBuildStats* st_out = stats != nullptr ? stats : &local;
+
+  StrLayout layout;
+  layout.w = options.summary.segments;
+  layout.series_len = options.summary.series_length;
+  layout.materialized = options.materialized;
+
+  // Pass 0: scan raw data, compute PAA points, write the initial STR input.
+  Stopwatch watch;
+  const std::string input_path = JoinPath(options.tmp_dir, "str-input.bin");
+  uint64_t count = 0;
+  {
+    DatasetScanner scanner;
+    COCONUT_RETURN_IF_ERROR(
+        scanner.Open(raw_path, options.summary.series_length));
+    BufferedWriter writer;
+    COCONUT_RETURN_IF_ERROR(writer.Open(input_path));
+    std::vector<Value> series(options.summary.series_length);
+    std::vector<double> paa(layout.w);
+    std::vector<uint8_t> rec(layout.record_bytes(), 0);
+    Status st;
+    uint64_t position = 0;
+    const uint64_t series_bytes =
+        options.summary.series_length * sizeof(Value);
+    while (scanner.Next(series.data(), &st)) {
+      PaaTransform(series.data(), options.summary.series_length, layout.w,
+                   paa.data());
+      for (size_t d = 0; d < layout.w; ++d) {
+        const float f = static_cast<float>(paa[d]);
+        std::memcpy(rec.data() + 4 + d * 4, &f, 4);
+      }
+      std::memcpy(rec.data() + 4 + layout.w * 4, &position, 8);
+      if (options.materialized) {
+        std::memcpy(rec.data() + 4 + layout.w * 4 + 8, series.data(),
+                    series_bytes);
+      }
+      COCONUT_RETURN_IF_ERROR(writer.Write(rec.data(), rec.size()));
+      position += series_bytes;
+      ++count;
+    }
+    COCONUT_RETURN_IF_ERROR(st);
+    COCONUT_RETURN_IF_ERROR(writer.Finish());
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("cannot build an R-tree over no data");
+  }
+  st_out->summarize_seconds = watch.ElapsedSeconds();
+
+  // STR recursion emits payload records in final leaf order.
+  watch.Restart();
+  const std::string ordered_path = JoinPath(options.tmp_dir, "str-out.bin");
+  {
+    BufferedWriter emit;
+    COCONUT_RETURN_IF_ERROR(emit.Open(ordered_path));
+    uint64_t next_tmp = 0;
+    COCONUT_RETURN_IF_ERROR(StrPartition(input_path, count, 0, layout,
+                                         options, options.tmp_dir, &next_tmp,
+                                         &st_out->sort_passes, &emit));
+    COCONUT_RETURN_IF_ERROR(emit.Finish());
+  }
+  COCONUT_RETURN_IF_ERROR(RemoveAll(input_path));
+  st_out->str_seconds = watch.ElapsedSeconds();
+
+  // Write leaf pages and build the in-memory directory bottom-up.
+  watch.Restart();
+  std::unique_ptr<RTree> tree(new RTree());
+  tree->options_ = options;
+  tree->entry_bytes_ = layout.payload_bytes();
+  tree->num_entries_ = count;
+  COCONUT_RETURN_IF_ERROR(RawSeriesFile::Open(
+      raw_path, options.summary.series_length, &tree->raw_file_));
+  {
+    BufferedReader reader;
+    COCONUT_RETURN_IF_ERROR(reader.Open(ordered_path));
+    std::unique_ptr<WritableFile> storage;
+    COCONUT_RETURN_IF_ERROR(WritableFile::Create(storage_path, &storage));
+    const size_t page_bytes = options.leaf_capacity * tree->entry_bytes_;
+    std::vector<uint8_t> page(page_bytes);
+    uint64_t done = 0;
+    while (done < count) {
+      const uint64_t in_page =
+          std::min<uint64_t>(options.leaf_capacity, count - done);
+      std::fill(page.begin(), page.end(), 0);
+      COCONUT_RETURN_IF_ERROR(
+          reader.Read(page.data(), in_page * tree->entry_bytes_));
+      COCONUT_RETURN_IF_ERROR(storage->Append(page.data(), page.size()));
+      LeafInfo leaf;
+      leaf.entry_count = in_page;
+      leaf.rect.lo.assign(layout.w, HUGE_VAL);
+      leaf.rect.hi.assign(layout.w, -HUGE_VAL);
+      for (uint64_t i = 0; i < in_page; ++i) {
+        for (size_t d = 0; d < layout.w; ++d) {
+          float v;
+          std::memcpy(&v, page.data() + i * tree->entry_bytes_ + d * 4, 4);
+          leaf.rect.lo[d] = std::min(leaf.rect.lo[d], double{v});
+          leaf.rect.hi[d] = std::max(leaf.rect.hi[d], double{v});
+        }
+      }
+      tree->leaves_.push_back(std::move(leaf));
+      done += in_page;
+    }
+    COCONUT_RETURN_IF_ERROR(storage->Close());
+  }
+  COCONUT_RETURN_IF_ERROR(RemoveAll(ordered_path));
+  COCONUT_RETURN_IF_ERROR(
+      RandomAccessFile::Open(storage_path, &tree->storage_));
+
+  // Directory levels (in memory) bottom-up.
+  {
+    auto union_into = [&](NodeRect* dst, const NodeRect& src) {
+      for (size_t d = 0; d < layout.w; ++d) {
+        dst->lo[d] = std::min(dst->lo[d], src.lo[d]);
+        dst->hi[d] = std::max(dst->hi[d], src.hi[d]);
+      }
+    };
+    std::vector<uint64_t> current;  // ids at the level being grouped
+    bool leaves_level = true;
+    for (uint64_t i = 0; i < tree->leaves_.size(); ++i) current.push_back(i);
+    while (current.size() > 1 || leaves_level) {
+      std::vector<uint64_t> next;
+      for (size_t b = 0; b < current.size(); b += options.fanout) {
+        const size_t e = std::min(current.size(), b + options.fanout);
+        DirNode node;
+        node.children_are_leaves = leaves_level;
+        node.rect.lo.assign(layout.w, HUGE_VAL);
+        node.rect.hi.assign(layout.w, -HUGE_VAL);
+        for (size_t i = b; i < e; ++i) {
+          node.children.push_back(current[i]);
+          const NodeRect& r = leaves_level
+                                  ? tree->leaves_[current[i]].rect
+                                  : tree->dir_[current[i]].rect;
+          union_into(&node.rect, r);
+        }
+        tree->dir_.push_back(std::move(node));
+        next.push_back(tree->dir_.size() - 1);
+      }
+      current.swap(next);
+      leaves_level = false;
+      if (current.size() == 1) break;
+    }
+    tree->root_ = static_cast<int64_t>(current[0]);
+  }
+  st_out->load_seconds = watch.ElapsedSeconds();
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status RTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page) {
+  const size_t page_bytes = options_.leaf_capacity * entry_bytes_;
+  page->resize(page_bytes);
+  return storage_->Read(leaf * page_bytes, page_bytes, page->data());
+}
+
+Status RTree::LeafTrueDistances(uint64_t leaf, const Value* query,
+                                double* best_sq, uint64_t* best_offset,
+                                uint64_t* visited) {
+  std::vector<uint8_t> page;
+  COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page));
+  const size_t w = options_.summary.segments;
+  const size_t n = options_.summary.series_length;
+  for (uint64_t i = 0; i < leaves_[leaf].entry_count; ++i) {
+    const uint8_t* e = page.data() + i * entry_bytes_;
+    uint64_t offset;
+    std::memcpy(&offset, e + w * 4, 8);
+    double d;
+    if (options_.materialized) {
+      const Value* series = reinterpret_cast<const Value*>(e + w * 4 + 8);
+      d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+    } else {
+      fetch_buf_.resize(n);
+      COCONUT_RETURN_IF_ERROR(raw_file_->ReadAt(offset, fetch_buf_.data()));
+      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, *best_sq);
+    }
+    ++*visited;
+    if (d < *best_sq) {
+      *best_sq = d;
+      *best_offset = offset;
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::ApproxSearch(const Value* query, SearchResult* result) {
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+
+  int64_t id = root_;
+  uint64_t leaf = 0;
+  while (true) {
+    const DirNode& node = dir_[id];
+    double best = HUGE_VAL;
+    uint64_t best_child = 0;
+    for (uint64_t child : node.children) {
+      const NodeRect& r = node.children_are_leaves ? leaves_[child].rect
+                                                   : dir_[child].rect;
+      const double lb =
+          MindistSqPaaToRect(paa.data(), r.lo.data(), r.hi.data(), sum);
+      if (lb < best) {
+        best = lb;
+        best_child = child;
+      }
+    }
+    if (node.children_are_leaves) {
+      leaf = best_child;
+      break;
+    }
+    id = static_cast<int64_t>(best_child);
+  }
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  uint64_t best_offset = 0;
+  uint64_t visited = 0;
+  COCONUT_RETURN_IF_ERROR(
+      LeafTrueDistances(leaf, query, &best_sq, &best_offset, &visited));
+  result->offset = best_offset;
+  result->distance = std::sqrt(best_sq);
+  result->visited_records = visited;
+  result->leaves_read = 1;
+  return Status::OK();
+}
+
+Status RTree::ExactSearch(const Value* query, SearchResult* result) {
+  SearchResult approx;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
+  double bsf_sq = approx.distance * approx.distance;
+  uint64_t best_offset = approx.offset;
+  uint64_t visited = approx.visited_records;
+  uint64_t leaves_read = approx.leaves_read;
+
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+
+  // Best-first over (mindist, is_leaf, id).
+  using Item = std::tuple<double, bool, uint64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push({0.0, false, static_cast<uint64_t>(root_)});
+  while (!pq.empty()) {
+    const auto [lb, is_leaf, id] = pq.top();
+    pq.pop();
+    if (lb >= bsf_sq) break;
+    if (is_leaf) {
+      COCONUT_RETURN_IF_ERROR(
+          LeafTrueDistances(id, query, &bsf_sq, &best_offset, &visited));
+      ++leaves_read;
+      continue;
+    }
+    const DirNode& node = dir_[id];
+    for (uint64_t child : node.children) {
+      const NodeRect& r = node.children_are_leaves ? leaves_[child].rect
+                                                   : dir_[child].rect;
+      pq.push({MindistSqPaaToRect(paa.data(), r.lo.data(), r.hi.data(), sum),
+               node.children_are_leaves, child});
+    }
+  }
+  result->offset = best_offset;
+  result->distance = std::sqrt(bsf_sq);
+  result->visited_records = visited;
+  result->leaves_read = leaves_read;
+  return Status::OK();
+}
+
+double RTree::AvgLeafFill() const {
+  if (leaves_.empty()) return 0.0;
+  return static_cast<double>(num_entries_) /
+         (static_cast<double>(leaves_.size()) *
+          static_cast<double>(options_.leaf_capacity));
+}
+
+uint64_t RTree::StorageBytes() const {
+  return static_cast<uint64_t>(leaves_.size()) * options_.leaf_capacity *
+         entry_bytes_;
+}
+
+}  // namespace coconut

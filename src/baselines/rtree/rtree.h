@@ -1,0 +1,122 @@
+// R-tree over PAA summarizations, bulk-loaded with the Sort-Tile-Recursive
+// (STR) algorithm of Leutenegger et al. — the R-tree / R-tree+ baseline of
+// the paper's evaluation (§5 "Algorithms").
+//
+// STR sorts the PAA points by the first dimension into slabs and recursively
+// re-sorts each slab by the next dimension, so construction costs one full
+// sorting pass per recursion level — the O(N * D) behaviour the paper
+// contrasts with Coconut's single sort over the interleaved representation.
+// Every level's sort runs through the memory-budgeted external sorter, so
+// constrained-memory experiments spill per level.
+//
+// Nearest-neighbor search is best-first over minimum distances to node MBRs
+// in PAA space (a valid lower bound of true Euclidean distance, scaled by
+// n/w), with true distances computed at the leaves; this makes exact search
+// exact. The materialized variant stores the raw series in the leaves;
+// R-tree+ keeps (PAA, position) entries and fetches series from the raw
+// file.
+#ifndef COCONUT_BASELINES_RTREE_RTREE_H_
+#define COCONUT_BASELINES_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/coconut_options.h"
+#include "src/io/file.h"
+#include "src/series/dataset.h"
+#include "src/series/series.h"
+
+namespace coconut {
+
+struct RtreeOptions {
+  SummaryOptions summary;
+  size_t leaf_capacity = 2000;
+  bool materialized = false;
+  size_t memory_budget_bytes = 256ull * 1024 * 1024;
+  std::string tmp_dir;
+  /// Internal-node fanout (in-memory directory).
+  size_t fanout = 32;
+
+  Status Validate() const {
+    COCONUT_RETURN_IF_ERROR(summary.Validate());
+    if (leaf_capacity == 0 || fanout < 2) {
+      return Status::InvalidArgument("bad leaf_capacity or fanout");
+    }
+    if (tmp_dir.empty()) {
+      return Status::InvalidArgument("tmp_dir must be set");
+    }
+    return Status::OK();
+  }
+};
+
+struct RtreeBuildStats {
+  double summarize_seconds = 0.0;
+  double str_seconds = 0.0;   // recursive sorting passes
+  double load_seconds = 0.0;  // leaf write + directory build
+  size_t sort_passes = 0;     // number of (re-)sorting passes performed
+
+  double total_seconds() const {
+    return summarize_seconds + str_seconds + load_seconds;
+  }
+};
+
+class RTree {
+ public:
+  static Status Build(const std::string& raw_path,
+                      const std::string& storage_path,
+                      const RtreeOptions& options, std::unique_ptr<RTree>* out,
+                      RtreeBuildStats* stats = nullptr);
+
+  /// Greedy root-to-leaf descent to the most promising leaf; true distances
+  /// over its entries.
+  Status ApproxSearch(const Value* query, SearchResult* result);
+
+  /// Best-first exact nearest neighbor.
+  Status ExactSearch(const Value* query, SearchResult* result);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_leaves() const { return leaves_.size(); }
+  double AvgLeafFill() const;
+  uint64_t StorageBytes() const;
+  const RtreeOptions& options() const { return options_; }
+
+ private:
+  RTree() = default;
+
+  struct NodeRect {
+    std::vector<double> lo;
+    std::vector<double> hi;
+  };
+  struct DirNode {
+    NodeRect rect;
+    // Children: either directory-node ids or (at the lowest directory
+    // level) leaf ids.
+    std::vector<uint64_t> children;
+    bool children_are_leaves = false;
+  };
+  struct LeafInfo {
+    NodeRect rect;
+    uint64_t entry_count = 0;
+  };
+
+  Status ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page);
+  Status LeafTrueDistances(uint64_t leaf, const Value* query, double* best_sq,
+                           uint64_t* best_offset, uint64_t* visited);
+
+  RtreeOptions options_;
+  size_t entry_bytes_ = 0;
+  uint64_t num_entries_ = 0;
+  std::unique_ptr<RandomAccessFile> storage_;
+  std::unique_ptr<RawSeriesFile> raw_file_;
+  std::vector<LeafInfo> leaves_;
+  std::vector<DirNode> dir_;  // dir_[root_] is the root
+  int64_t root_ = -1;
+  std::vector<Value> fetch_buf_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_BASELINES_RTREE_RTREE_H_

@@ -1,0 +1,85 @@
+// Vertical (Kashyap & Karras, SIGKDD 2011): kNN search over vertically
+// (level-major) stored DHWT coefficients — the "Vertical" baseline of the
+// paper's evaluation.
+//
+// Construction proceeds "in a stepwise sequential-scan manner, one level of
+// resolution at a time" (paper §5): one pass over the raw file per
+// resolution level, writing that level's Haar coefficients for all series
+// into a dedicated level file. Queries scan the level files coarse-to-fine,
+// accumulating partial squared distances that — because the orthonormal DHWT
+// preserves Euclidean distance — are monotone lower bounds; candidates whose
+// partial distance exceeds the best-so-far are dropped, and survivors are
+// verified against the raw file.
+#ifndef COCONUT_BASELINES_VERTICAL_VERTICAL_INDEX_H_
+#define COCONUT_BASELINES_VERTICAL_VERTICAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/coconut_options.h"
+#include "src/series/dataset.h"
+#include "src/series/series.h"
+
+namespace coconut {
+
+struct VerticalOptions {
+  /// Series length; must be a power of two (DHWT requirement).
+  size_t series_length = 256;
+  size_t memory_budget_bytes = 256ull * 1024 * 1024;
+  /// Candidates left before switching from level scans to raw verification.
+  size_t verify_threshold = 128;
+
+  Status Validate() const;
+};
+
+struct VerticalBuildStats {
+  double total_seconds = 0.0;
+  size_t passes = 0;  // one sequential pass over the raw data per level
+};
+
+class VerticalIndex {
+ public:
+  /// Builds the level files under `storage_dir` (one file per resolution
+  /// level).
+  static Status Build(const std::string& raw_path,
+                      const std::string& storage_dir,
+                      const VerticalOptions& options,
+                      std::unique_ptr<VerticalIndex>* out,
+                      VerticalBuildStats* stats = nullptr);
+
+  /// Exact nearest neighbor (filter over all levels + raw verification).
+  Status ExactSearch(const Value* query, SearchResult* result);
+
+  /// Approximate search: scans only the coarse half of the levels and
+  /// verifies the best surviving candidate.
+  Status ApproxSearch(const Value* query, SearchResult* result);
+
+  uint64_t num_entries() const { return count_; }
+  uint64_t StorageBytes() const;
+  size_t num_levels() const { return levels_; }
+
+ private:
+  VerticalIndex() = default;
+
+  /// Runs the stepwise filter over levels [0, max_level); returns partial
+  /// distances and the alive set.
+  Status FilterLevels(const Value* query,
+                      const std::vector<double>& query_coeffs,
+                      size_t max_level, double* bsf_sq, uint64_t* bsf_offset,
+                      std::vector<double>* partial, std::vector<bool>* alive,
+                      uint64_t* visited);
+
+  std::string storage_dir_;
+  VerticalOptions options_;
+  std::unique_ptr<RawSeriesFile> raw_file_;
+  uint64_t count_ = 0;
+  size_t levels_ = 0;
+  std::vector<Value> fetch_buf_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_BASELINES_VERTICAL_VERTICAL_INDEX_H_

@@ -1,0 +1,35 @@
+// Small bit-manipulation helpers shared by the summarization and key code.
+#ifndef COCONUT_COMMON_BITS_H_
+#define COCONUT_COMMON_BITS_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace coconut {
+
+/// Extracts bit `bit` (0 = least significant) of `v` as 0 or 1.
+inline uint32_t GetBit(uint64_t v, unsigned bit) {
+  return static_cast<uint32_t>((v >> bit) & 1u);
+}
+
+/// Sets bit `bit` (0 = least significant) of `*v` to `value` (0 or 1).
+inline void AssignBit(uint64_t* v, unsigned bit, uint32_t value) {
+  const uint64_t mask = uint64_t{1} << bit;
+  if (value) {
+    *v |= mask;
+  } else {
+    *v &= ~mask;
+  }
+}
+
+/// Returns ceil(a / b) for positive integers.
+inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+/// Rounds `v` up to the next multiple of `align` (align > 0).
+inline size_t RoundUp(size_t v, size_t align) {
+  return CeilDiv(v, align) * align;
+}
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_BITS_H_

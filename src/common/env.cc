@@ -1,0 +1,73 @@
+#include "src/common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+
+namespace coconut {
+
+namespace fs = std::filesystem;
+
+Status MakeTempDir(const std::string& prefix, std::string* out) {
+  std::error_code ec;
+  fs::path root = fs::temp_directory_path(ec);
+  if (ec) return Status::IOError("temp_directory_path: " + ec.message());
+  static std::mt19937_64 rng{std::random_device{}()};
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate = root / (prefix + std::to_string(rng()));
+    if (fs::create_directories(candidate, ec) && !ec) {
+      *out = candidate.string();
+      return Status::OK();
+    }
+  }
+  return Status::IOError("unable to create temp dir with prefix " + prefix);
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status MakeDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("create_directories " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status FileSize(const std::string& path, uint64_t* size) {
+  std::error_code ec;
+  const auto s = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  *size = static_cast<uint64_t>(s);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+}  // namespace coconut

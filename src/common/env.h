@@ -1,0 +1,38 @@
+// Filesystem helpers: temp directories, file sizes, removal. Kept separate
+// from the instrumented I/O layer (src/io) because these are control-plane
+// operations whose cost we do not model.
+#ifndef COCONUT_COMMON_ENV_H_
+#define COCONUT_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace coconut {
+
+/// Creates a fresh unique directory under the system temp root (or $TMPDIR)
+/// and returns its path in *out.
+Status MakeTempDir(const std::string& prefix, std::string* out);
+
+/// Recursively removes `path` if it exists. Missing paths are not an error.
+Status RemoveAll(const std::string& path);
+
+/// Creates directory `path` (and parents). Existing directories are OK.
+Status MakeDirs(const std::string& path);
+
+/// Returns the size of the file at `path` in bytes.
+Status FileSize(const std::string& path, uint64_t* size);
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Atomically renames `from` to `to` (same filesystem).
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Joins two path components with exactly one '/'.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_ENV_H_

@@ -1,0 +1,37 @@
+// Deterministic random number generation used by the data series generators,
+// the workload drivers, and the property-based tests. A thin wrapper over
+// std::mt19937_64 so that all call sites share one seeding convention.
+#ifndef COCONUT_COMMON_RANDOM_H_
+#define COCONUT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace coconut {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Standard normal draw (mean 0, stddev 1).
+  double Gaussian() { return normal_(engine_); }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return uniform_(engine_); }
+
+  /// Uniform integer in [0, n) for n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_RANDOM_H_

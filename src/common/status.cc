@@ -1,0 +1,39 @@
+#include "src/common/status.h"
+
+namespace coconut {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      name = "OK";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  std::string out(name);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace coconut

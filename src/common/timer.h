@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef COCONUT_COMMON_TIMER_H_
+#define COCONUT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace coconut {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_TIMER_H_

@@ -1,0 +1,19 @@
+#include "src/common/zkey.h"
+
+#include <cstdio>
+
+namespace coconut {
+
+std::string ZKey::ToHex() const {
+  std::string out;
+  out.reserve(kBytes * 2);
+  char buf[17];
+  for (size_t i = 0; i < kWords; ++i) {
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(words_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace coconut

@@ -1,0 +1,299 @@
+#include "src/core/coconut_forest.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "src/common/env.h"
+#include "src/series/distance.h"
+#include "src/summary/invsax.h"
+
+namespace coconut {
+
+namespace {
+
+/// Sorted in-memory entries (a flushed memtable) as a record stream.
+class VectorStream : public SortedRecordStream {
+ public:
+  VectorStream(std::vector<uint8_t> data, size_t record_bytes)
+      : data_(std::move(data)), record_bytes_(record_bytes) {}
+
+  bool Next(uint8_t* out, Status* status) override {
+    *status = Status::OK();
+    if (pos_ + record_bytes_ > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, record_bytes_);
+    pos_ += record_bytes_;
+    return true;
+  }
+  uint64_t count() const override { return data_.size() / record_bytes_; }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t record_bytes_;
+  size_t pos_ = 0;
+};
+
+/// K-way merge over the (already sorted) leaf entries of several runs.
+class MergedRunStream : public SortedRecordStream {
+ public:
+  MergedRunStream(std::vector<CoconutTree*> runs, size_t entry_bytes)
+      : entry_bytes_(entry_bytes) {
+    for (CoconutTree* run : runs) {
+      cursors_.push_back(Cursor{run, 0, 0, {}, 0});
+      total_ += run->num_entries();
+    }
+  }
+
+  bool Next(uint8_t* out, Status* status) override {
+    *status = Status::OK();
+    int best = -1;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      Cursor& c = cursors_[i];
+      if (!EnsurePage(&c, status)) {
+        if (!status->ok()) return false;
+        continue;  // exhausted
+      }
+      if (best < 0 ||
+          std::memcmp(CurrentEntry(c), CurrentEntry(cursors_[best]),
+                      ZKey::kBytes) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return false;
+    Cursor& c = cursors_[best];
+    std::memcpy(out, CurrentEntry(c), entry_bytes_);
+    ++c.slot;
+    return true;
+  }
+
+  uint64_t count() const override { return total_; }
+
+ private:
+  struct Cursor {
+    CoconutTree* run;
+    uint64_t next_leaf;
+    size_t slot;
+    std::vector<uint8_t> page;
+    size_t page_count;
+  };
+
+  const uint8_t* CurrentEntry(const Cursor& c) const {
+    return c.page.data() + c.slot * entry_bytes_;
+  }
+
+  /// Loads the next leaf page when the current one is exhausted; returns
+  /// false when the run has no entries left.
+  bool EnsurePage(Cursor* c, Status* status) {
+    while (c->page.empty() || c->slot >= c->page_count) {
+      if (c->next_leaf >= c->run->num_leaves()) return false;
+      *status = c->run->ReadLeafEntriesRaw(c->next_leaf, &c->page,
+                                           &c->page_count);
+      if (!status->ok()) return false;
+      ++c->next_leaf;
+      c->slot = 0;
+    }
+    return true;
+  }
+
+  std::vector<Cursor> cursors_;
+  size_t entry_bytes_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace
+
+std::string CoconutForest::RunPath(uint64_t id) const {
+  return JoinPath(dir_, "run-" + std::to_string(id) + ".ctree");
+}
+
+Status CoconutForest::Open(const std::string& raw_path,
+                           const std::string& dir,
+                           const ForestOptions& options,
+                           std::unique_ptr<CoconutForest>* out) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<CoconutForest> forest(new CoconutForest());
+  forest->options_ = options;
+  forest->raw_path_ = raw_path;
+  forest->dir_ = dir;
+  COCONUT_RETURN_IF_ERROR(MakeDirs(dir));
+
+  if (!FileExists(raw_path)) {
+    std::unique_ptr<WritableFile> f;
+    COCONUT_RETURN_IF_ERROR(WritableFile::Create(raw_path, &f));
+    COCONUT_RETURN_IF_ERROR(f->Close());
+  }
+  COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &forest->raw_bytes_));
+  if (forest->raw_bytes_ > 0) {
+    // Existing data becomes the first run (a plain bulk load).
+    const std::string path = forest->RunPath(forest->next_run_id_++);
+    COCONUT_RETURN_IF_ERROR(
+        CoconutTree::Build(raw_path, path, options.tree));
+    std::unique_ptr<CoconutTree> run;
+    COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path, &run));
+    forest->runs_.push_back(std::move(run));
+  }
+  *out = std::move(forest);
+  return Status::OK();
+}
+
+Status CoconutForest::Insert(const Series& series) {
+  return InsertBatch({series});
+}
+
+Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
+  const size_t n = options_.tree.summary.series_length;
+  for (const Series& s : batch) {
+    if (s.size() != n) {
+      return Status::InvalidArgument("series length mismatch");
+    }
+  }
+  COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+  for (const Series& s : batch) {
+    memtable_.push_back(MemEntry{s, raw_bytes_});
+    raw_bytes_ += n * sizeof(Value);
+    if (memtable_.size() >= options_.memtable_series) {
+      COCONUT_RETURN_IF_ERROR(FlushLocked());
+    }
+  }
+  if (runs_.size() > options_.max_runs) {
+    COCONUT_RETURN_IF_ERROR(CompactAll());
+  }
+  return Status::OK();
+}
+
+Status CoconutForest::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  return FlushLocked();
+}
+
+Status CoconutForest::FlushLocked() {
+  // Encode and sort the memtable entries, then bulk-load a new run — the
+  // sequential LSM flush.
+  const size_t entry_bytes = LeafEntryBytes(options_.tree);
+  const SummaryOptions& sum = options_.tree.summary;
+  std::vector<uint8_t> records(memtable_.size() * entry_bytes);
+  for (size_t i = 0; i < memtable_.size(); ++i) {
+    const ZKey key = InvSaxFromSeries(memtable_[i].series.data(), sum);
+    EncodeLeafEntry(key, memtable_[i].offset,
+                    options_.tree.materialized ? memtable_[i].series.data()
+                                               : nullptr,
+                    sum.series_length, records.data() + i * entry_bytes);
+  }
+  std::vector<uint32_t> order(memtable_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::memcmp(records.data() + size_t{a} * entry_bytes,
+                       records.data() + size_t{b} * entry_bytes,
+                       ZKey::kBytes) < 0;
+  });
+  std::vector<uint8_t> sorted(records.size());
+  for (size_t i = 0; i < memtable_.size(); ++i) {
+    std::memcpy(sorted.data() + i * entry_bytes,
+                records.data() + size_t{order[i]} * entry_bytes, entry_bytes);
+  }
+  const std::string path = RunPath(next_run_id_++);
+  {
+    VectorStream stream(std::move(sorted), entry_bytes);
+    COCONUT_RETURN_IF_ERROR(
+        CoconutTreeBuilder::BulkLoad(&stream, options_.tree, path));
+  }
+  std::unique_ptr<CoconutTree> run;
+  COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path_, &run));
+  runs_.push_back(std::move(run));
+  memtable_.clear();
+  return Status::OK();
+}
+
+Status CoconutForest::CompactAll() {
+  COCONUT_RETURN_IF_ERROR(Flush());
+  if (runs_.size() <= 1) return Status::OK();
+  const size_t entry_bytes = LeafEntryBytes(options_.tree);
+  const std::string path = RunPath(next_run_id_++);
+  {
+    std::vector<CoconutTree*> inputs;
+    inputs.reserve(runs_.size());
+    for (auto& run : runs_) inputs.push_back(run.get());
+    MergedRunStream stream(std::move(inputs), entry_bytes);
+    COCONUT_RETURN_IF_ERROR(
+        CoconutTreeBuilder::BulkLoad(&stream, options_.tree, path));
+  }
+  // Swap in the merged run; drop and delete the inputs.
+  std::vector<std::string> old_paths;
+  for (auto& run : runs_) old_paths.push_back(run->index_path());
+  runs_.clear();
+  std::unique_ptr<CoconutTree> merged;
+  COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path_, &merged));
+  runs_.push_back(std::move(merged));
+  for (const std::string& p : old_paths) {
+    (void)RemoveAll(p);
+    (void)RemoveAll(p + ".sax");
+  }
+  return Status::OK();
+}
+
+uint64_t CoconutForest::num_entries() const {
+  uint64_t total = memtable_.size();
+  for (const auto& run : runs_) total += run->num_entries();
+  return total;
+}
+
+Status CoconutForest::ExactSearch(const Value* query, SearchResult* result) {
+  if (num_entries() == 0) return Status::NotFound("empty forest");
+  const size_t n = options_.tree.summary.series_length;
+  SearchResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  // Memtable: brute force (it is small by construction).
+  for (const MemEntry& e : memtable_) {
+    const double d = Euclidean(e.series.data(), query, n);
+    ++best.visited_records;
+    if (d < best.distance) {
+      best.distance = d;
+      best.offset = e.offset;
+    }
+  }
+  // Runs: per-run exact answers; the global exact NN is their minimum.
+  for (auto& run : runs_) {
+    SearchResult r;
+    COCONUT_RETURN_IF_ERROR(run->ExactSearch(query, 1, &r));
+    best.visited_records += r.visited_records;
+    best.leaves_read += r.leaves_read;
+    if (r.distance < best.distance) {
+      best.distance = r.distance;
+      best.offset = r.offset;
+    }
+  }
+  *result = best;
+  return Status::OK();
+}
+
+Status CoconutForest::ApproxSearch(const Value* query, size_t num_leaves,
+                                   SearchResult* result) {
+  if (num_entries() == 0) return Status::NotFound("empty forest");
+  const size_t n = options_.tree.summary.series_length;
+  SearchResult best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (const MemEntry& e : memtable_) {
+    const double d = Euclidean(e.series.data(), query, n);
+    ++best.visited_records;
+    if (d < best.distance) {
+      best.distance = d;
+      best.offset = e.offset;
+    }
+  }
+  for (auto& run : runs_) {
+    SearchResult r;
+    COCONUT_RETURN_IF_ERROR(run->ApproxSearch(query, num_leaves, &r));
+    best.visited_records += r.visited_records;
+    best.leaves_read += r.leaves_read;
+    if (r.distance < best.distance) {
+      best.distance = r.distance;
+      best.offset = r.offset;
+    }
+  }
+  *result = best;
+  return Status::OK();
+}
+
+}  // namespace coconut

@@ -1,0 +1,108 @@
+// CoconutForest: the paper's future-work direction (§6 — "we would also
+// like to explore how ideas from LSM trees [35] could be used to enable the
+// efficient updates") built on top of Coconut-Tree.
+//
+// Incoming series accumulate in an in-memory buffer (the memtable). When the
+// buffer fills, it is sorted by invSAX and bulk-loaded as an immutable
+// Coconut-Tree run — a sequential write, exactly like an LSM level flush.
+// When the number of runs exceeds the configured threshold, all runs are
+// merged into one (tiered full compaction): a single sequential pass, since
+// every run is already in invSAX order.
+//
+// Queries consult the buffer plus every run; exact search takes the minimum
+// of the per-run exact answers (each run's SIMS scan is exact over its
+// data, so the minimum is the global exact nearest neighbor).
+//
+// Compared to CoconutTree::MergeBatch (which rebuilds the whole index per
+// batch), the forest amortizes ingestion: small fragmented batches no
+// longer trigger full rebuilds — the weakness paper Fig 10a shows for
+// per-batch merging.
+#ifndef COCONUT_CORE_COCONUT_FOREST_H_
+#define COCONUT_CORE_COCONUT_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/coconut_options.h"
+#include "src/core/coconut_tree.h"
+#include "src/series/series.h"
+
+namespace coconut {
+
+struct ForestOptions {
+  CoconutOptions tree;
+  /// Series buffered in memory before a run is flushed.
+  size_t memtable_series = 4096;
+  /// Maximum number of on-disk runs before a full (tiered) compaction.
+  size_t max_runs = 4;
+
+  Status Validate() const {
+    COCONUT_RETURN_IF_ERROR(tree.Validate());
+    if (memtable_series == 0 || max_runs == 0) {
+      return Status::InvalidArgument("memtable_series and max_runs must be > 0");
+    }
+    return Status::OK();
+  }
+};
+
+class CoconutForest {
+ public:
+  /// Creates a forest over the dataset at `raw_path` (which may be empty or
+  /// already populated — existing series are bulk-loaded as the first run).
+  /// Run files are stored under `dir`.
+  static Status Open(const std::string& raw_path, const std::string& dir,
+                     const ForestOptions& options,
+                     std::unique_ptr<CoconutForest>* out);
+
+  /// Appends one series to the raw file and the memtable; may flush a run
+  /// and/or trigger compaction.
+  Status Insert(const Series& series);
+
+  /// Batch variant of Insert.
+  Status InsertBatch(const std::vector<Series>& batch);
+
+  /// Flushes the memtable to a run (no-op when empty).
+  Status Flush();
+
+  /// Merges all runs into one (always safe; also triggered automatically
+  /// when run count exceeds options.max_runs).
+  Status CompactAll();
+
+  /// Exact nearest neighbor across the memtable and all runs.
+  Status ExactSearch(const Value* query, SearchResult* result);
+
+  /// Approximate search: best candidate across the memtable and the target
+  /// leaf window of every run.
+  Status ApproxSearch(const Value* query, size_t num_leaves,
+                      SearchResult* result);
+
+  size_t num_runs() const { return runs_.size(); }
+  uint64_t num_entries() const;
+  uint64_t memtable_size() const { return memtable_.size(); }
+
+ private:
+  CoconutForest() = default;
+
+  Status FlushLocked();
+  std::string RunPath(uint64_t id) const;
+
+  ForestOptions options_;
+  std::string raw_path_;
+  std::string dir_;
+  uint64_t next_run_id_ = 0;
+  uint64_t raw_bytes_ = 0;  // current size of the raw file
+
+  struct MemEntry {
+    Series series;
+    uint64_t offset;
+  };
+  std::vector<MemEntry> memtable_;
+  std::vector<std::unique_ptr<CoconutTree>> runs_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_COCONUT_FOREST_H_

@@ -1,0 +1,448 @@
+// Coconut-Tree open/query paths: in-memory internal levels, approximate
+// radius search (Algorithm 4), CoconutTreeSIMS exact search (Algorithm 5),
+// and sequential merge-based batch updates.
+#include "src/core/coconut_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <thread>
+
+#include "src/common/env.h"
+#include "src/core/sims_common.h"
+#include "src/io/buffered_io.h"
+#include "src/series/distance.h"
+#include "src/summary/invsax.h"
+#include "src/summary/mindist.h"
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+
+Status CoconutTree::Open(const std::string& index_path,
+                         const std::string& raw_path,
+                         std::unique_ptr<CoconutTree>* out) {
+  std::unique_ptr<CoconutTree> tree(new CoconutTree());
+  tree->index_path_ = index_path;
+  tree->raw_path_ = raw_path;
+  COCONUT_RETURN_IF_ERROR(
+      RandomAccessFile::Open(index_path, &tree->index_file_));
+  std::vector<uint8_t> sb(kSuperblockBytes);
+  COCONUT_RETURN_IF_ERROR(
+      tree->index_file_->Read(0, kSuperblockBytes, sb.data()));
+  std::memcpy(&tree->super_, sb.data(), sizeof(TreeSuperblock));
+  COCONUT_RETURN_IF_ERROR(tree->super_.Check());
+
+  tree->options_.summary.series_length = tree->super_.series_length;
+  tree->options_.summary.segments = tree->super_.segments;
+  tree->options_.summary.cardinality_bits =
+      static_cast<unsigned>(tree->super_.cardinality_bits);
+  tree->options_.leaf_capacity = tree->super_.leaf_capacity;
+  tree->options_.materialized = tree->super_.materialized != 0;
+  tree->options_.fill_factor =
+      static_cast<double>(tree->super_.entries_per_leaf) /
+      static_cast<double>(tree->super_.leaf_capacity);
+
+  COCONUT_RETURN_IF_ERROR(RawSeriesFile::Open(
+      raw_path, tree->options_.summary.series_length, &tree->raw_file_));
+  COCONUT_RETURN_IF_ERROR(tree->LoadInternalLevels());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status CoconutTree::LoadInternalLevels() {
+  levels_.clear();
+  levels_.resize(super_.num_internal_levels);
+  std::vector<uint8_t> page(kInternalPageBytes);
+  for (size_t lvl = 0; lvl < super_.num_internal_levels; ++lvl) {
+    InternalLevel& level = levels_[lvl];
+    for (uint64_t p = 0; p < super_.level_page_count[lvl]; ++p) {
+      const uint64_t off =
+          super_.level_file_offset[lvl] + p * kInternalPageBytes;
+      COCONUT_RETURN_IF_ERROR(
+          index_file_->Read(off, kInternalPageBytes, page.data()));
+      uint64_t cnt;
+      std::memcpy(&cnt, page.data(), 8);
+      if (cnt > kInternalFanout) {
+        return Status::Corruption("internal page count out of range");
+      }
+      for (uint64_t i = 0; i < cnt; ++i) {
+        const uint8_t* slot = page.data() + 8 + i * kInternalEntryBytes;
+        level.keys.push_back(ZKey::DeserializeBE(slot));
+        uint64_t child;
+        std::memcpy(&child, slot + ZKey::kBytes, 8);
+        level.children.push_back(child);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t CoconutTree::LocateLeaf(const ZKey& key) const {
+  if (levels_.empty()) return 0;
+  // Walk from the root down. At each level the search is confined to the
+  // page the parent pointed at; at the root the whole (single-page) level is
+  // searched. Keys are the first keys of the children, so the child covering
+  // `key` is the last entry with first_key <= key.
+  size_t lvl = levels_.size() - 1;
+  size_t lo = 0;
+  size_t hi = levels_[lvl].keys.size();
+  while (true) {
+    const InternalLevel& level = levels_[lvl];
+    auto begin = level.keys.begin() + lo;
+    auto end = level.keys.begin() + hi;
+    auto it = std::upper_bound(begin, end, key);
+    const size_t idx = (it == begin)
+                           ? lo
+                           : static_cast<size_t>(it - level.keys.begin()) - 1;
+    const uint64_t child = level.children[idx];
+    if (lvl == 0) return child;  // leaf index
+    --lvl;
+    // `child` is a page index in the level below.
+    lo = static_cast<size_t>(child) * kInternalFanout;
+    hi = std::min(levels_[lvl].keys.size(), lo + kInternalFanout);
+  }
+}
+
+Status CoconutTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page,
+                                 size_t* entry_count) {
+  if (leaf >= super_.num_leaves) {
+    return Status::InvalidArgument("leaf index out of range");
+  }
+  page->resize(super_.leaf_page_bytes);
+  const uint64_t off = kSuperblockBytes + leaf * super_.leaf_page_bytes;
+  COCONUT_RETURN_IF_ERROR(
+      index_file_->Read(off, super_.leaf_page_bytes, page->data()));
+  const uint64_t epl = super_.entries_per_leaf;
+  *entry_count = (leaf + 1 == super_.num_leaves)
+                     ? static_cast<size_t>(super_.num_entries - leaf * epl)
+                     : static_cast<size_t>(epl);
+  return Status::OK();
+}
+
+Status CoconutTree::EntryDistanceSq(const uint8_t* entry, const Value* query,
+                                    double bound_sq, double* dist_sq) {
+  const size_t n = options_.summary.series_length;
+  if (options_.materialized) {
+    *dist_sq =
+        SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry), query, n,
+                                     bound_sq);
+    return Status::OK();
+  }
+  fetch_buf_.resize(n);
+  COCONUT_RETURN_IF_ERROR(
+      raw_file_->ReadAt(DecodeLeafEntryOffset(entry), fetch_buf_.data()));
+  *dist_sq = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                                          bound_sq);
+  return Status::OK();
+}
+
+Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
+                                 SearchResult* result) {
+  if (num_leaves == 0) num_leaves = 1;
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+  std::vector<uint8_t> sax(sum.segments);
+  SaxFromPaa(paa.data(), sum, sax.data());
+  const ZKey key = InvSaxFromSax(sax.data(), sum);
+
+  const uint64_t target = LocateLeaf(key);
+  // Window of `num_leaves` contiguous pages centered on the target (paper:
+  // "all data series in a specific radius from this specific point").
+  uint64_t lo = target > (num_leaves - 1) / 2 ? target - (num_leaves - 1) / 2
+                                              : 0;
+  uint64_t hi = std::min<uint64_t>(super_.num_leaves - 1,
+                                   lo + num_leaves - 1);
+  lo = (hi + 1 >= num_leaves) ? hi + 1 - num_leaves : 0;
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  uint64_t best_offset = 0;
+  uint64_t visited = 0;
+  std::vector<uint8_t> page;
+  for (uint64_t lf = lo; lf <= hi; ++lf) {
+    size_t cnt;
+    COCONUT_RETURN_IF_ERROR(ReadLeafPage(lf, &page, &cnt));
+    for (size_t i = 0; i < cnt; ++i) {
+      const uint8_t* entry = page.data() + i * super_.entry_bytes;
+      double d;
+      COCONUT_RETURN_IF_ERROR(EntryDistanceSq(entry, query, best_sq, &d));
+      ++visited;
+      if (d < best_sq) {
+        best_sq = d;
+        best_offset = DecodeLeafEntryOffset(entry);
+      }
+    }
+  }
+  result->offset = best_offset;
+  result->distance = std::sqrt(best_sq);
+  result->visited_records = visited;
+  result->leaves_read = hi - lo + 1;
+  return Status::OK();
+}
+
+Status CoconutTree::EnsureSimsLoaded() {
+  if (sims_loaded_) return Status::OK();
+  const size_t w = options_.summary.segments;
+  const uint64_t n = super_.num_entries;
+  BufferedReader reader;
+  COCONUT_RETURN_IF_ERROR(reader.Open(index_path_ + ".sax"));
+  if (reader.file_size() != n * (w + 8)) {
+    return Status::Corruption("sidecar size mismatch");
+  }
+  sims_sax_.resize(n * w);
+  sims_offsets_.resize(n);
+  std::vector<uint8_t> rec(w + 8);
+  for (uint64_t i = 0; i < n; ++i) {
+    COCONUT_RETURN_IF_ERROR(reader.Read(rec.data(), rec.size()));
+    std::memcpy(sims_sax_.data() + i * w, rec.data(), w);
+    std::memcpy(&sims_offsets_[i], rec.data() + w, 8);
+  }
+  sims_loaded_ = true;
+  return Status::OK();
+}
+
+Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
+                                SearchResult* result) {
+  // Lines 3-4 of Algorithm 5: load the in-memory summarizations once.
+  COCONUT_RETURN_IF_ERROR(EnsureSimsLoaded());
+
+  // Line 6: seed the best-so-far with an approximate answer.
+  SearchResult approx;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_leaves, &approx));
+  double bsf_sq = approx.distance * approx.distance;
+  uint64_t best_offset = approx.offset;
+
+  const SummaryOptions& sum = options_.summary;
+  std::vector<double> paa(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+
+  // Lines 8-10: compute lower bounds for every entry, in parallel.
+  const uint64_t n = super_.num_entries;
+  std::vector<double> mindists;
+  ParallelMindists(paa.data(), sims_sax_.data(), n, sum,
+                   options_.EffectiveThreads(), &mindists);
+
+  // Lines 12-19: skip-sequential scan in leaf order, fetching raw data only
+  // for unpruned entries. For the materialized tree the fetch is served from
+  // the contiguous leaf pages; otherwise from the raw file by offset.
+  uint64_t visited = 0;
+  uint64_t leaves_read = 0;
+  const size_t series_len = sum.series_length;
+  if (options_.materialized) {
+    std::vector<uint8_t> page;
+    uint64_t cached_leaf = std::numeric_limits<uint64_t>::max();
+    size_t cached_cnt = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (mindists[i] >= bsf_sq) continue;
+      const uint64_t leaf = i / super_.entries_per_leaf;
+      if (leaf != cached_leaf) {
+        COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page, &cached_cnt));
+        cached_leaf = leaf;
+        ++leaves_read;
+      }
+      const size_t slot = static_cast<size_t>(i % super_.entries_per_leaf);
+      const uint8_t* entry = page.data() + slot * super_.entry_bytes;
+      const double d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry),
+                                                    query, series_len, bsf_sq);
+      ++visited;
+      if (d < bsf_sq) {
+        bsf_sq = d;
+        best_offset = DecodeLeafEntryOffset(entry);
+      }
+    }
+  } else {
+    fetch_buf_.resize(series_len);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (mindists[i] >= bsf_sq) continue;
+      COCONUT_RETURN_IF_ERROR(
+          raw_file_->ReadAt(sims_offsets_[i], fetch_buf_.data()));
+      const double d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query,
+                                                    series_len, bsf_sq);
+      ++visited;
+      if (d < bsf_sq) {
+        bsf_sq = d;
+        best_offset = sims_offsets_[i];
+      }
+    }
+  }
+
+  result->offset = best_offset;
+  result->distance = std::sqrt(bsf_sq);
+  result->visited_records = approx.visited_records + visited;
+  result->leaves_read = approx.leaves_read + leaves_read;
+  return Status::OK();
+}
+
+double CoconutTree::AvgLeafFill() const {
+  if (super_.num_leaves == 0) return 0.0;
+  return static_cast<double>(super_.num_entries) /
+         (static_cast<double>(super_.num_leaves) *
+          static_cast<double>(super_.leaf_capacity));
+}
+
+Status CoconutTree::IndexSizeBytes(uint64_t* bytes) const {
+  uint64_t index_bytes = 0;
+  uint64_t sidecar_bytes = 0;
+  COCONUT_RETURN_IF_ERROR(FileSize(index_path_, &index_bytes));
+  COCONUT_RETURN_IF_ERROR(FileSize(index_path_ + ".sax", &sidecar_bytes));
+  *bytes = index_bytes + sidecar_bytes;
+  return Status::OK();
+}
+
+Status CoconutTree::ReadLeafEntries(uint64_t leaf, std::vector<ZKey>* keys,
+                                    std::vector<uint64_t>* offsets) {
+  std::vector<uint8_t> page;
+  size_t cnt;
+  COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page, &cnt));
+  keys->clear();
+  offsets->clear();
+  for (size_t i = 0; i < cnt; ++i) {
+    const uint8_t* entry = page.data() + i * super_.entry_bytes;
+    keys->push_back(DecodeLeafEntryKey(entry));
+    offsets->push_back(DecodeLeafEntryOffset(entry));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Merge of the existing leaf entries (read sequentially from the old index
+/// file) with an in-memory sorted batch of new entries; feeds BulkLoad for
+/// the rebuild. Both inputs are sorted by key, so this is a single
+/// sequential pass (paper Fig 10a: bulk-loading "has to perform less splits
+/// when larger pieces of data are loaded").
+class MergeStream : public SortedRecordStream {
+ public:
+  MergeStream(CoconutTree* tree, const TreeSuperblock& super,
+              std::vector<uint8_t> new_records, size_t entry_bytes)
+      : tree_(tree),
+        super_(super),
+        new_records_(std::move(new_records)),
+        entry_bytes_(entry_bytes) {}
+
+  bool Next(uint8_t* out, Status* status) override {
+    *status = Status::OK();
+    const bool old_ok = old_index_ < super_.num_entries;
+    const bool new_ok = new_pos_ < new_records_.size();
+    if (!old_ok && !new_ok) return false;
+    if (old_ok && page_pos_ == page_count_) {
+      *status = FillPage();
+      if (!status->ok()) return false;
+    }
+    bool take_old;
+    if (!old_ok) {
+      take_old = false;
+    } else if (!new_ok) {
+      take_old = true;
+    } else {
+      take_old = std::memcmp(page_.data() + page_pos_ * entry_bytes_,
+                             new_records_.data() + new_pos_,
+                             ZKey::kBytes) <= 0;
+    }
+    if (take_old) {
+      std::memcpy(out, page_.data() + page_pos_ * entry_bytes_, entry_bytes_);
+      ++page_pos_;
+      ++old_index_;
+    } else {
+      std::memcpy(out, new_records_.data() + new_pos_, entry_bytes_);
+      new_pos_ += entry_bytes_;
+    }
+    return true;
+  }
+
+  uint64_t count() const override {
+    return super_.num_entries + new_records_.size() / entry_bytes_;
+  }
+
+ private:
+  Status FillPage() {
+    COCONUT_RETURN_IF_ERROR(tree_->ReadLeafEntriesRaw(next_leaf_, &page_,
+                                                      &page_count_));
+    ++next_leaf_;
+    page_pos_ = 0;
+    return Status::OK();
+  }
+
+  CoconutTree* tree_;
+  const TreeSuperblock& super_;
+  std::vector<uint8_t> new_records_;
+  size_t entry_bytes_;
+  uint64_t old_index_ = 0;
+  uint64_t next_leaf_ = 0;
+  std::vector<uint8_t> page_;
+  size_t page_count_ = 0;
+  size_t page_pos_ = 0;
+  size_t new_pos_ = 0;
+};
+
+}  // namespace
+
+Status CoconutTree::ReadLeafEntriesRaw(uint64_t leaf,
+                                       std::vector<uint8_t>* page,
+                                       size_t* entry_count) {
+  return ReadLeafPage(leaf, page, entry_count);
+}
+
+Status CoconutTree::MergeBatch(const std::vector<Series>& batch) {
+  if (batch.empty()) return Status::OK();
+  const SummaryOptions& sum = options_.summary;
+  for (const Series& s : batch) {
+    if (s.size() != sum.series_length) {
+      return Status::InvalidArgument("batch series length mismatch");
+    }
+  }
+  const uint64_t old_raw_bytes = raw_file_->size_bytes();
+  COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+
+  // Encode and sort the new entries in memory (a batch is small relative to
+  // the index; the paper's update experiment bulk-loads arriving batches).
+  const size_t entry_bytes = super_.entry_bytes;
+  std::vector<uint8_t> recs(batch.size() * entry_bytes);
+  const uint64_t series_bytes = sum.series_length * sizeof(Value);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ZKey key = InvSaxFromSeries(batch[i].data(), sum);
+    EncodeLeafEntry(key, old_raw_bytes + i * series_bytes,
+                    options_.materialized ? batch[i].data() : nullptr,
+                    sum.series_length, recs.data() + i * entry_bytes);
+  }
+  std::vector<uint32_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::memcmp(recs.data() + size_t{a} * entry_bytes,
+                       recs.data() + size_t{b} * entry_bytes,
+                       ZKey::kBytes) < 0;
+  });
+  std::vector<uint8_t> sorted(recs.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(sorted.data() + i * entry_bytes,
+                recs.data() + size_t{order[i]} * entry_bytes, entry_bytes);
+  }
+
+  // Sequentially merge old leaves with the sorted batch into a new file.
+  const std::string tmp_index = index_path_ + ".rebuild";
+  {
+    MergeStream stream(this, super_, std::move(sorted), entry_bytes);
+    COCONUT_RETURN_IF_ERROR(
+        CoconutTreeBuilder::BulkLoad(&stream, options_, tmp_index));
+  }
+  COCONUT_RETURN_IF_ERROR(RenameFile(tmp_index, index_path_));
+  COCONUT_RETURN_IF_ERROR(RenameFile(tmp_index + ".sax", index_path_ + ".sax"));
+
+  // Refresh in-memory state from the rebuilt file.
+  std::unique_ptr<CoconutTree> reopened;
+  COCONUT_RETURN_IF_ERROR(Open(index_path_, raw_path_, &reopened));
+  options_ = reopened->options_;
+  super_ = reopened->super_;
+  index_file_ = std::move(reopened->index_file_);
+  raw_file_ = std::move(reopened->raw_file_);
+  levels_ = std::move(reopened->levels_);
+  sims_loaded_ = false;
+  sims_sax_.clear();
+  sims_offsets_.clear();
+  return Status::OK();
+}
+
+}  // namespace coconut

@@ -1,0 +1,227 @@
+// Bulk-loading of the Coconut-Tree (paper Algorithm 3): scan the raw file
+// computing sortable summarizations, external-sort (invSAX, position)
+// records — with the raw payload inline for the materialized variant — and
+// build the balanced tree bottom-up with sequential writes.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/common/timer.h"
+#include "src/core/coconut_tree.h"
+#include "src/io/buffered_io.h"
+#include "src/summary/invsax.h"
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+
+namespace {
+
+/// Writes the sidecar record (SAX word + raw offset) for one leaf entry; the
+/// SAX word is recovered from the interleaved key, so the sidecar costs no
+/// extra information (paper §4.1: the transform is invertible).
+Status AppendSidecarRecord(const uint8_t* entry, const CoconutOptions& opts,
+                           std::vector<uint8_t>* scratch,
+                           BufferedWriter* sidecar) {
+  const ZKey key = DecodeLeafEntryKey(entry);
+  scratch->resize(opts.summary.segments + 8);
+  SaxFromInvSax(key, opts.summary, scratch->data());
+  const uint64_t offset = DecodeLeafEntryOffset(entry);
+  std::memcpy(scratch->data() + opts.summary.segments, &offset, 8);
+  return sidecar->Write(scratch->data(), scratch->size());
+}
+
+}  // namespace
+
+Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
+                                    const CoconutOptions& options,
+                                    const std::string& index_path) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  const uint64_t count = stream->count();
+  if (count == 0) {
+    return Status::InvalidArgument("cannot bulk-load an empty dataset");
+  }
+  const size_t entry_bytes = LeafEntryBytes(options);
+  const size_t epl = options.EntriesPerLeaf();
+  const size_t leaf_page_bytes = options.leaf_capacity * entry_bytes;
+  const uint64_t num_leaves = (count + epl - 1) / epl;
+
+  TreeSuperblock super;
+  super.materialized = options.materialized ? 1 : 0;
+  super.series_length = options.summary.series_length;
+  super.segments = options.summary.segments;
+  super.cardinality_bits = options.summary.cardinality_bits;
+  super.leaf_capacity = options.leaf_capacity;
+  super.entries_per_leaf = epl;
+  super.entry_bytes = entry_bytes;
+  super.leaf_page_bytes = leaf_page_bytes;
+  super.num_entries = count;
+  super.num_leaves = num_leaves;
+
+  std::unique_ptr<WritableFile> file;
+  COCONUT_RETURN_IF_ERROR(WritableFile::Create(index_path, &file));
+  // Reserve the superblock page; it is rewritten once offsets are known.
+  std::vector<uint8_t> zero_page(kSuperblockBytes, 0);
+  COCONUT_RETURN_IF_ERROR(file->Append(zero_page.data(), zero_page.size()));
+
+  BufferedWriter sidecar;
+  COCONUT_RETURN_IF_ERROR(sidecar.Open(index_path + ".sax"));
+
+  // --- Pass over the sorted stream: write packed leaf pages. ---
+  std::vector<ZKey> leaf_first_keys;
+  leaf_first_keys.reserve(num_leaves);
+  std::vector<uint8_t> page(leaf_page_bytes, 0);
+  std::vector<uint8_t> record(entry_bytes);
+  std::vector<uint8_t> scratch;
+  uint64_t emitted = 0;
+  size_t in_page = 0;
+  Status st;
+  while (stream->Next(record.data(), &st)) {
+    if (in_page == 0) {
+      leaf_first_keys.push_back(DecodeLeafEntryKey(record.data()));
+      std::fill(page.begin(), page.end(), 0);
+    }
+    std::memcpy(page.data() + in_page * entry_bytes, record.data(),
+                entry_bytes);
+    COCONUT_RETURN_IF_ERROR(
+        AppendSidecarRecord(record.data(), options, &scratch, &sidecar));
+    ++in_page;
+    ++emitted;
+    if (in_page == epl) {
+      COCONUT_RETURN_IF_ERROR(file->Append(page.data(), page.size()));
+      in_page = 0;
+    }
+  }
+  COCONUT_RETURN_IF_ERROR(st);
+  if (in_page > 0) {
+    COCONUT_RETURN_IF_ERROR(file->Append(page.data(), page.size()));
+  }
+  if (emitted != count) {
+    return Status::Internal("sorted stream count mismatch");
+  }
+  COCONUT_RETURN_IF_ERROR(sidecar.Finish());
+
+  // --- Build internal levels bottom-up from the collected first keys. ---
+  std::vector<ZKey> level_keys = std::move(leaf_first_keys);
+  size_t level = 0;
+  while (level_keys.size() > 1) {
+    if (level >= kMaxLevels) {
+      return Status::Internal("tree exceeds maximum height");
+    }
+    super.level_file_offset[level] = file->size();
+    const size_t nodes =
+        (level_keys.size() + kInternalFanout - 1) / kInternalFanout;
+    super.level_page_count[level] = nodes;
+    std::vector<ZKey> next_keys;
+    next_keys.reserve(nodes);
+    std::vector<uint8_t> ipage(kInternalPageBytes, 0);
+    for (size_t n = 0; n < nodes; ++n) {
+      const size_t begin = n * kInternalFanout;
+      const size_t end =
+          std::min(level_keys.size(), begin + kInternalFanout);
+      const uint64_t cnt = end - begin;
+      std::fill(ipage.begin(), ipage.end(), 0);
+      std::memcpy(ipage.data(), &cnt, 8);
+      for (size_t i = begin; i < end; ++i) {
+        uint8_t* slot = ipage.data() + 8 + (i - begin) * kInternalEntryBytes;
+        level_keys[i].SerializeBE(slot);
+        const uint64_t child = i;  // child index within the level below
+        std::memcpy(slot + ZKey::kBytes, &child, 8);
+      }
+      COCONUT_RETURN_IF_ERROR(file->Append(ipage.data(), ipage.size()));
+      next_keys.push_back(level_keys[begin]);
+    }
+    level_keys.swap(next_keys);
+    ++level;
+  }
+  super.num_internal_levels = level;
+
+  // --- Rewrite the superblock with the final metadata. ---
+  std::vector<uint8_t> sb(kSuperblockBytes, 0);
+  std::memcpy(sb.data(), &super, sizeof(super));
+  COCONUT_RETURN_IF_ERROR(file->WriteAt(0, sb.data(), sb.size()));
+  return file->Close();
+}
+
+Status CoconutTreeBuilder::BuildFromDataset(const std::string& raw_path,
+                                            const std::string& index_path,
+                                            const CoconutOptions& options,
+                                            TreeBuildStats* stats) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  TreeBuildStats local_stats;
+  TreeBuildStats* out_stats = stats != nullptr ? stats : &local_stats;
+
+  std::string tmp_dir = options.tmp_dir;
+  bool owns_tmp = false;
+  if (tmp_dir.empty()) {
+    COCONUT_RETURN_IF_ERROR(MakeTempDir("coconut-sort-", &tmp_dir));
+    owns_tmp = true;
+  }
+
+  const size_t entry_bytes = LeafEntryBytes(options);
+  ExternalSortOptions sort_opts;
+  sort_opts.record_bytes = entry_bytes;
+  sort_opts.key_bytes = ZKey::kBytes;
+  sort_opts.memory_budget_bytes = options.memory_budget_bytes;
+  sort_opts.tmp_dir = tmp_dir;
+  ExternalSorter sorter(sort_opts);
+
+  // Phase 1: scan the raw file, summarize, feed the sorter (Algorithm 3
+  // lines 2-11). The paper stores (invSAX, position) in the FBL; the
+  // materialized variant additionally carries the raw payload so that the
+  // sort phase orders the full records (Coconut-Tree-Full).
+  Stopwatch watch;
+  {
+    DatasetScanner scanner;
+    COCONUT_RETURN_IF_ERROR(
+        scanner.Open(raw_path, options.summary.series_length));
+    std::vector<Value> series(options.summary.series_length);
+    std::vector<double> paa(options.summary.segments);
+    std::vector<uint8_t> sax(options.summary.segments);
+    std::vector<uint8_t> record(entry_bytes);
+    Status st;
+    uint64_t position = 0;
+    const uint64_t series_bytes =
+        options.summary.series_length * sizeof(Value);
+    while (scanner.Next(series.data(), &st)) {
+      PaaTransform(series.data(), options.summary.series_length,
+                   options.summary.segments, paa.data());
+      SaxFromPaa(paa.data(), options.summary, sax.data());
+      const ZKey key = InvSaxFromSax(sax.data(), options.summary);
+      EncodeLeafEntry(key, position,
+                      options.materialized ? series.data() : nullptr,
+                      options.summary.series_length, record.data());
+      COCONUT_RETURN_IF_ERROR(sorter.Add(record.data()));
+      position += series_bytes;
+    }
+    COCONUT_RETURN_IF_ERROR(st);
+  }
+  out_stats->summarize_seconds = watch.ElapsedSeconds();
+
+  // Phase 2: external sort (Algorithm 3 line 12).
+  watch.Restart();
+  std::unique_ptr<SortedRecordStream> sorted;
+  COCONUT_RETURN_IF_ERROR(sorter.Finish(&sorted));
+  out_stats->sort_seconds = watch.ElapsedSeconds();
+  out_stats->spilled_runs = sorter.spilled_runs();
+  out_stats->num_entries = sorted->count();
+
+  // Phase 3: bottom-up bulk load (Algorithm 3 line 13).
+  watch.Restart();
+  Status st = BulkLoad(sorted.get(), options, index_path);
+  out_stats->load_seconds = watch.ElapsedSeconds();
+
+  if (owns_tmp) (void)RemoveAll(tmp_dir);
+  return st;
+}
+
+Status CoconutTree::Build(const std::string& raw_path,
+                          const std::string& index_path,
+                          const CoconutOptions& options,
+                          TreeBuildStats* stats) {
+  return CoconutTreeBuilder::BuildFromDataset(raw_path, index_path, options,
+                                              stats);
+}
+
+}  // namespace coconut

@@ -1,0 +1,32 @@
+#include "src/core/sims_common.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/summary/mindist.h"
+
+namespace coconut {
+
+void ParallelMindists(const double* query_paa, const uint8_t* sax_array,
+                      uint64_t n, const SummaryOptions& opts, unsigned threads,
+                      std::vector<double>* out) {
+  out->resize(n);
+  if (threads == 0) threads = 1;
+  std::vector<std::thread> pool;
+  const uint64_t chunk = (n + threads - 1) / threads;
+  const size_t w = opts.segments;
+  double* dst = out->data();
+  for (unsigned t = 0; t < threads; ++t) {
+    const uint64_t begin = t * chunk;
+    const uint64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([=, &opts]() {
+      for (uint64_t i = begin; i < end; ++i) {
+        dst[i] = MindistSqPaaToSax(query_paa, sax_array + i * w, opts);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace coconut

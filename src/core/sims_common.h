@@ -1,0 +1,23 @@
+// Shared pieces of the SIMS exact-search algorithm (paper Algorithm 5):
+// the multi-threaded lower-bound computation over an in-memory array of SAX
+// words (line 10, "use multiple threads & compute bounds in parallel").
+// Used by Coconut-Tree, Coconut-Trie, and the ADS baseline.
+#ifndef COCONUT_CORE_SIMS_COMMON_H_
+#define COCONUT_CORE_SIMS_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/summary/options.h"
+
+namespace coconut {
+
+/// Computes MindistSqPaaToSax(query_paa, sax[i]) for every i in [0, n) into
+/// `out` (resized), splitting the range across `threads` workers.
+void ParallelMindists(const double* query_paa, const uint8_t* sax_array,
+                      uint64_t n, const SummaryOptions& opts, unsigned threads,
+                      std::vector<double>* out);
+
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_SIMS_COMMON_H_

@@ -1,0 +1,106 @@
+// On-disk format of the Coconut-Tree index file.
+//
+// Layout (single file):
+//   [superblock: 4096 bytes]
+//   [leaf pages, contiguous, fixed size]          <- bulk-loaded in key order
+//   [internal level 0 pages][level 1]...[root]    <- built bottom-up
+//
+// Leaf entries are fixed size:
+//   non-materialized: [ZKey: 32 bytes BE][raw-file offset: 8 bytes LE]
+//   materialized:     [ZKey: 32][offset: 8][series: length * 4 bytes]
+// Leaves are packed at entries_per_leaf records (fill factor applied); the
+// last leaf may be short. Because leaves are contiguous and uniformly
+// packed, entry i lives in leaf i / entries_per_leaf at slot
+// i % entries_per_leaf — no per-page directory is needed, and "pointers
+// between neighboring leaves" (paper §4.3) are implicit in contiguity.
+//
+// Internal pages hold [count: 8][(first-key: 32, child: 8) x count]; child
+// ids index into the level below (leaf index at the bottom internal level).
+// All internal levels are loaded into memory on open (paper §3.1: "the
+// index's internal nodes for most applications fit in main memory").
+#ifndef COCONUT_CORE_TREE_FORMAT_H_
+#define COCONUT_CORE_TREE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/status.h"
+#include "src/common/zkey.h"
+#include "src/core/coconut_options.h"
+
+namespace coconut {
+
+inline constexpr uint64_t kTreeMagic = 0x31454552544E4343ull;  // "CCNTREE1"
+inline constexpr size_t kSuperblockBytes = 4096;
+inline constexpr size_t kInternalPageBytes = 4096;
+inline constexpr size_t kInternalEntryBytes = ZKey::kBytes + 8;  // key+child
+inline constexpr size_t kInternalFanout =
+    (kInternalPageBytes - 8) / kInternalEntryBytes;
+inline constexpr size_t kMaxLevels = 10;
+
+/// Fixed-layout superblock. Trivially copyable; written/read via memcpy into
+/// the 4 KiB superblock page.
+struct TreeSuperblock {
+  uint64_t magic = kTreeMagic;
+  uint64_t version = 1;
+  uint64_t materialized = 0;
+  uint64_t series_length = 0;
+  uint64_t segments = 0;
+  uint64_t cardinality_bits = 0;
+  uint64_t leaf_capacity = 0;
+  uint64_t entries_per_leaf = 0;
+  uint64_t entry_bytes = 0;
+  uint64_t leaf_page_bytes = 0;
+  uint64_t num_entries = 0;
+  uint64_t num_leaves = 0;
+  uint64_t num_internal_levels = 0;
+  uint64_t level_file_offset[kMaxLevels] = {};
+  uint64_t level_page_count[kMaxLevels] = {};
+
+  Status Check() const {
+    if (magic != kTreeMagic) return Status::Corruption("bad tree magic");
+    if (version != 1) return Status::Corruption("unsupported tree version");
+    return Status::OK();
+  }
+};
+static_assert(sizeof(TreeSuperblock) <= kSuperblockBytes);
+static_assert(std::is_trivially_copyable_v<TreeSuperblock>);
+
+/// Size of one leaf entry for the given options.
+inline size_t LeafEntryBytes(const CoconutOptions& opts) {
+  size_t n = ZKey::kBytes + 8;
+  if (opts.materialized) n += opts.summary.series_length * sizeof(float);
+  return n;
+}
+
+/// Encodes a leaf entry into `out` (entry_bytes). `series` may be null for
+/// non-materialized entries.
+inline void EncodeLeafEntry(const ZKey& key, uint64_t offset,
+                            const float* series, size_t series_length,
+                            uint8_t* out) {
+  key.SerializeBE(out);
+  std::memcpy(out + ZKey::kBytes, &offset, sizeof(offset));
+  if (series != nullptr) {
+    std::memcpy(out + ZKey::kBytes + 8, series,
+                series_length * sizeof(float));
+  }
+}
+
+inline ZKey DecodeLeafEntryKey(const uint8_t* entry) {
+  return ZKey::DeserializeBE(entry);
+}
+
+inline uint64_t DecodeLeafEntryOffset(const uint8_t* entry) {
+  uint64_t offset;
+  std::memcpy(&offset, entry + ZKey::kBytes, sizeof(offset));
+  return offset;
+}
+
+/// Pointer to the inline series payload of a materialized entry.
+inline const float* LeafEntrySeries(const uint8_t* entry) {
+  return reinterpret_cast<const float*>(entry + ZKey::kBytes + 8);
+}
+
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_TREE_FORMAT_H_

@@ -1,0 +1,100 @@
+#include "src/io/buffered_io.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace coconut {
+
+Status BufferedWriter::Open(const std::string& path) {
+  buffer_.reserve(capacity_);
+  return WritableFile::Create(path, &file_);
+}
+
+Status BufferedWriter::Write(const void* data, size_t n) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    const size_t room = capacity_ - buffer_.size();
+    const size_t take = std::min(room, n);
+    buffer_.insert(buffer_.end(), src, src + take);
+    src += take;
+    n -= take;
+    if (buffer_.size() == capacity_) {
+      COCONUT_RETURN_IF_ERROR(FlushBuffer());
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::FlushBuffer() {
+  if (!buffer_.empty()) {
+    COCONUT_RETURN_IF_ERROR(file_->Append(buffer_.data(), buffer_.size()));
+    bytes_written_ += buffer_.size();
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::Finish() {
+  COCONUT_RETURN_IF_ERROR(FlushBuffer());
+  return file_->Close();
+}
+
+Status BufferedReader::Open(const std::string& path) {
+  buffer_.resize(capacity_);
+  buffer_pos_ = buffer_len_ = 0;
+  position_ = buffer_start_ = 0;
+  return RandomAccessFile::Open(path, &file_);
+}
+
+Status BufferedReader::Refill() {
+  buffer_start_ = position_;
+  const uint64_t remaining = file_->size() - position_;
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(remaining, capacity_));
+  if (n == 0) {
+    return Status::IOError("read past EOF in " + file_->path());
+  }
+  COCONUT_RETURN_IF_ERROR(file_->Read(buffer_start_, n, buffer_.data()));
+  buffer_pos_ = 0;
+  buffer_len_ = n;
+  return Status::OK();
+}
+
+Status BufferedReader::Read(void* out, size_t n) {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (n > 0) {
+    if (buffer_pos_ == buffer_len_) {
+      COCONUT_RETURN_IF_ERROR(Refill());
+    }
+    const size_t take = std::min(n, buffer_len_ - buffer_pos_);
+    std::memcpy(dst, buffer_.data() + buffer_pos_, take);
+    dst += take;
+    buffer_pos_ += take;
+    position_ += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Status BufferedReader::Skip(uint64_t n) {
+  while (n > 0) {
+    if (buffer_pos_ < buffer_len_) {
+      const uint64_t in_buffer = buffer_len_ - buffer_pos_;
+      const uint64_t take = std::min(in_buffer, n);
+      buffer_pos_ += static_cast<size_t>(take);
+      position_ += take;
+      n -= take;
+      continue;
+    }
+    // Skip whole buffers without reading them.
+    if (position_ + n > file_size()) {
+      return Status::IOError("skip past EOF in " + file_->path());
+    }
+    position_ += n;
+    buffer_pos_ = buffer_len_ = 0;
+    n = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace coconut

@@ -1,0 +1,76 @@
+// Buffered sequential reader/writer built on the instrumented file wrappers.
+// The buffer size is the unit at which I/O reaches the counted layer, so it
+// plays the role of the block size B in the paper's disk-access-model
+// analysis.
+#ifndef COCONUT_IO_BUFFERED_IO_H_
+#define COCONUT_IO_BUFFERED_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/io/file.h"
+
+namespace coconut {
+
+/// Default buffer of 256 KiB: large enough that sequential scans are cheap,
+/// small enough that dozens of merge inputs fit in a modest memory budget.
+inline constexpr size_t kDefaultIoBufferBytes = 256 * 1024;
+
+class BufferedWriter {
+ public:
+  explicit BufferedWriter(size_t buffer_bytes = kDefaultIoBufferBytes)
+      : capacity_(buffer_bytes) {}
+
+  Status Open(const std::string& path);
+
+  Status Write(const void* data, size_t n);
+
+  /// Flushes buffered bytes and closes the file.
+  Status Finish();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status FlushBuffer();
+
+  size_t capacity_;
+  std::vector<uint8_t> buffer_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_written_ = 0;
+};
+
+class BufferedReader {
+ public:
+  explicit BufferedReader(size_t buffer_bytes = kDefaultIoBufferBytes)
+      : capacity_(buffer_bytes) {}
+
+  Status Open(const std::string& path);
+
+  /// Reads exactly `n` bytes; returns IOError at EOF.
+  Status Read(void* out, size_t n);
+
+  /// Skips `n` bytes forward.
+  Status Skip(uint64_t n);
+
+  uint64_t file_size() const { return file_ ? file_->size() : 0; }
+  uint64_t position() const { return position_; }
+  bool AtEnd() const { return position_ >= file_size(); }
+
+ private:
+  Status Refill();
+
+  size_t capacity_;
+  std::vector<uint8_t> buffer_;
+  size_t buffer_pos_ = 0;
+  size_t buffer_len_ = 0;
+  uint64_t position_ = 0;       // logical read position in the file
+  uint64_t buffer_start_ = 0;   // file offset of buffer_[0]
+  std::unique_ptr<RandomAccessFile> file_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_IO_BUFFERED_IO_H_

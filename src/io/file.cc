@@ -1,0 +1,129 @@
+#include "src/io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/io/io_stats.h"
+
+namespace coconut {
+
+namespace {
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+}  // namespace
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Open(const std::string& path,
+                              std::unique_ptr<RandomAccessFile>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  out->reset(new RandomAccessFile(path, fd, static_cast<uint64_t>(st.st_size)));
+  return Status::OK();
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, void* buf) {
+  const bool random = (offset != next_sequential_offset_);
+  uint8_t* dst = static_cast<uint8_t*>(buf);
+  size_t remaining = n;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    ssize_t r = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pread", path_));
+    }
+    if (r == 0) {
+      return Status::IOError("pread " + path_ + ": unexpected EOF");
+    }
+    dst += r;
+    pos += static_cast<uint64_t>(r);
+    remaining -= static_cast<size_t>(r);
+  }
+  next_sequential_offset_ = offset + n;
+  IoStats::Instance().RecordRead(n, random);
+  return Status::OK();
+}
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WritableFile::Create(const std::string& path,
+                            std::unique_ptr<WritableFile>* out) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("create", path));
+  out->reset(new WritableFile(path, fd));
+  return Status::OK();
+}
+
+Status WritableFile::OpenForAppend(const std::string& path,
+                                   std::unique_ptr<WritableFile>* out) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open-append", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  auto* file = new WritableFile(path, fd);
+  file->append_offset_ = static_cast<uint64_t>(st.st_size);
+  out->reset(file);
+  return Status::OK();
+}
+
+Status WritableFile::Append(const void* data, size_t n) {
+  COCONUT_RETURN_IF_ERROR(WriteAt(append_offset_, data, n));
+  return Status::OK();
+}
+
+Status WritableFile::WriteAt(uint64_t offset, const void* data, size_t n) {
+  const bool random = (offset != append_offset_);
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  size_t remaining = n;
+  uint64_t pos = offset;
+  while (remaining > 0) {
+    ssize_t w = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("pwrite", path_));
+    }
+    src += w;
+    pos += static_cast<uint64_t>(w);
+    remaining -= static_cast<size_t>(w);
+  }
+  if (offset + n > append_offset_) append_offset_ = offset + n;
+  IoStats::Instance().RecordWrite(n, random);
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  // fdatasync would dominate laptop-scale benches; durability is not part of
+  // the reproduced claims, so Sync is a no-op beyond the write() calls.
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+}  // namespace coconut

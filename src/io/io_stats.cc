@@ -1,0 +1,25 @@
+#include "src/io/io_stats.h"
+
+#include <cstdio>
+
+namespace coconut {
+
+IoStats& IoStats::Instance() {
+  static IoStats instance;
+  return instance;
+}
+
+std::string IoSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "reads=%llu (rand=%llu) writes=%llu (rand=%llu) "
+                "MB_read=%.1f MB_written=%.1f",
+                static_cast<unsigned long long>(read_ops),
+                static_cast<unsigned long long>(random_read_ops),
+                static_cast<unsigned long long>(write_ops),
+                static_cast<unsigned long long>(random_write_ops),
+                bytes_read / 1048576.0, bytes_written / 1048576.0);
+  return std::string(buf);
+}
+
+}  // namespace coconut

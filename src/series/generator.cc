@@ -1,0 +1,138 @@
+#include "src/series/generator.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/series/znorm.h"
+
+namespace coconut {
+
+RandomWalkGenerator::RandomWalkGenerator(size_t length, uint64_t seed)
+    : SeriesGenerator(length), rng_(seed) {}
+
+void RandomWalkGenerator::Next(Value* out) {
+  double level = rng_.Gaussian();
+  for (size_t i = 0; i < length_; ++i) {
+    out[i] = static_cast<Value>(level);
+    level += rng_.Gaussian();
+  }
+  ZNormalize(out, length_);
+}
+
+SeismicGenerator::SeismicGenerator(size_t length, uint64_t seed,
+                                   size_t window_step)
+    : SeriesGenerator(length), rng_(seed), window_step_(window_step) {}
+
+void SeismicGenerator::ExtendSignal(size_t needed) {
+  while (signal_.size() < needed) {
+    // Background microseismic noise.
+    double sample = 0.15 * rng_.Gaussian();
+    // Poisson-ish arrivals of seismic events: each event is a superposition
+    // of damped sinusoids (a crude but shape-faithful model of P/S phases).
+    if (rng_.Uniform() < 0.002) {
+      EventState ev;
+      ev.amplitude = 0.5 + 2.5 * rng_.Uniform();
+      ev.frequency = 0.05 + 0.2 * rng_.Uniform();  // radians/sample
+      ev.decay = 0.005 + 0.02 * rng_.Uniform();
+      ev.phase = 2.0 * M_PI * rng_.Uniform();
+      ev.remaining = 400 + rng_.UniformInt(600);
+      active_events_.push_back(ev);
+    }
+    for (size_t e = 0; e < active_events_.size();) {
+      EventState& ev = active_events_[e];
+      sample += ev.amplitude * std::sin(ev.phase);
+      ev.phase += ev.frequency;
+      ev.amplitude *= (1.0 - ev.decay);
+      if (--ev.remaining == 0 || ev.amplitude < 1e-3) {
+        active_events_[e] = active_events_.back();
+        active_events_.pop_back();
+      } else {
+        ++e;
+      }
+    }
+    signal_.push_back(static_cast<Value>(sample));
+  }
+}
+
+void SeismicGenerator::Next(Value* out) {
+  const size_t start = window_pos_ - signal_base_;
+  ExtendSignal(start + length_);
+  std::memcpy(out, signal_.data() + start, length_ * sizeof(Value));
+  ZNormalize(out, length_);
+  window_pos_ += window_step_;
+  // Trim consumed prefix occasionally to bound memory.
+  const size_t consumed = window_pos_ - signal_base_;
+  if (consumed > 1 << 20) {
+    signal_.erase(signal_.begin(), signal_.begin() + consumed);
+    signal_base_ = window_pos_;
+  }
+}
+
+AstronomyGenerator::AstronomyGenerator(size_t length, uint64_t seed,
+                                       size_t window_step)
+    : SeriesGenerator(length), rng_(seed), window_step_(window_step) {
+  period_ = 32.0 + 96.0 * rng_.Uniform();
+}
+
+void AstronomyGenerator::ExtendSignal(size_t needed) {
+  while (signal_.size() < needed) {
+    // Periodic baseline (e.g., variable star) + AR(1) red noise.
+    phase_ += 2.0 * M_PI / period_;
+    red_state_ = 0.97 * red_state_ + 0.1 * rng_.Gaussian();
+    double sample = 0.8 * std::sin(phase_) + red_state_;
+    // Occasional flares: sharp rise, exponential decay (AGN/stellar flares).
+    if (flare_remaining_ == 0 && rng_.Uniform() < 0.001) {
+      flare_remaining_ = 64 + rng_.UniformInt(128);
+      flare_level_ = 1.5 + 3.0 * rng_.Uniform();
+    }
+    if (flare_remaining_ > 0) {
+      sample += flare_level_;
+      flare_level_ *= 0.97;
+      --flare_remaining_;
+    }
+    // Mild positive skew: fluxes are non-negative-ish and heavy on the high
+    // side; expm1 keeps the body near-linear but stretches the right tail.
+    sample = std::expm1(0.35 * sample) / 0.35;
+    signal_.push_back(static_cast<Value>(sample));
+  }
+}
+
+void AstronomyGenerator::Next(Value* out) {
+  const size_t start = window_pos_ - signal_base_;
+  ExtendSignal(start + length_);
+  std::memcpy(out, signal_.data() + start, length_ * sizeof(Value));
+  ZNormalize(out, length_);
+  window_pos_ += window_step_;
+  const size_t consumed = window_pos_ - signal_base_;
+  if (consumed > 1 << 20) {
+    signal_.erase(signal_.begin(), signal_.begin() + consumed);
+    signal_base_ = window_pos_;
+  }
+}
+
+std::unique_ptr<SeriesGenerator> MakeGenerator(DatasetKind kind, size_t length,
+                                               uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kRandomWalk:
+      return std::make_unique<RandomWalkGenerator>(length, seed);
+    case DatasetKind::kSeismic:
+      return std::make_unique<SeismicGenerator>(length, seed);
+    case DatasetKind::kAstronomy:
+      return std::make_unique<AstronomyGenerator>(length, seed);
+  }
+  return nullptr;
+}
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kRandomWalk:
+      return "randomwalk";
+    case DatasetKind::kSeismic:
+      return "seismic";
+    case DatasetKind::kAstronomy:
+      return "astronomy";
+  }
+  return "unknown";
+}
+
+}  // namespace coconut

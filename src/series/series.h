@@ -1,0 +1,36 @@
+// Core data series types. A data series is an ordered sequence of float32
+// values (paper Definition 1); positions are implicit (0..n-1) since all
+// datasets in the evaluation are fixed-interval.
+#ifndef COCONUT_SERIES_SERIES_H_
+#define COCONUT_SERIES_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coconut {
+
+/// Raw value type. The original Coconut/ADS tooling stores float32 series in
+/// headerless binary files; we keep the same convention.
+using Value = float;
+
+/// Owning series.
+using Series = std::vector<Value>;
+
+/// Non-owning view over a contiguous series.
+struct SeriesView {
+  const Value* data = nullptr;
+  size_t length = 0;
+
+  SeriesView() = default;
+  SeriesView(const Value* d, size_t n) : data(d), length(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): views are cheap adapters.
+  SeriesView(const Series& s) : data(s.data()), length(s.size()) {}
+
+  const Value* begin() const { return data; }
+  const Value* end() const { return data + length; }
+  Value operator[](size_t i) const { return data[i]; }
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_SERIES_H_

@@ -1,0 +1,39 @@
+#include "src/series/znorm.h"
+
+#include <cmath>
+
+namespace coconut {
+
+double Mean(const Value* values, size_t n) {
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += values[i];
+  return sum / static_cast<double>(n);
+}
+
+double StdDev(const Value* values, size_t n) {
+  if (n == 0) return 0.0;
+  const double mean = Mean(values, n);
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = values[i] - mean;
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(n));
+}
+
+void ZNormalize(Value* values, size_t n) {
+  constexpr double kEpsilon = 1e-9;
+  const double mean = Mean(values, n);
+  const double sd = StdDev(values, n);
+  if (sd < kEpsilon) {
+    for (size_t i = 0; i < n; ++i) values[i] = 0.0f;
+    return;
+  }
+  const double inv = 1.0 / sd;
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<Value>((values[i] - mean) * inv);
+  }
+}
+
+}  // namespace coconut

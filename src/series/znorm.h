@@ -1,0 +1,26 @@
+// Z-normalization: subtract the mean, divide by the standard deviation.
+// All datasets in the paper are z-normalized as a preprocessing step; on
+// z-normalized series, minimizing Euclidean distance is equivalent to
+// maximizing Pearson correlation (paper §2).
+#ifndef COCONUT_SERIES_ZNORM_H_
+#define COCONUT_SERIES_ZNORM_H_
+
+#include <cstddef>
+
+#include "src/series/series.h"
+
+namespace coconut {
+
+/// Z-normalizes `n` values in place. Constant series (stddev below epsilon)
+/// become all zeros.
+void ZNormalize(Value* values, size_t n);
+
+/// Returns the mean of `n` values.
+double Mean(const Value* values, size_t n);
+
+/// Returns the population standard deviation of `n` values.
+double StdDev(const Value* values, size_t n);
+
+}  // namespace coconut
+
+#endif  // COCONUT_SERIES_ZNORM_H_

@@ -1,0 +1,235 @@
+#include "src/sort/external_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <queue>
+
+#include "src/common/env.h"
+
+namespace coconut {
+
+namespace {
+
+/// Sorts the records in `buffer` (count records of record_bytes each) by
+/// memcmp on the leading key_bytes, via an index permutation to keep moves
+/// cheap, then materializes the sorted order into `out`.
+void SortBuffer(const std::vector<uint8_t>& buffer, size_t record_bytes,
+                size_t key_bytes, size_t count, std::vector<uint8_t>* out) {
+  std::vector<uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  const uint8_t* base = buffer.data();
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::memcmp(base + size_t{a} * record_bytes,
+                       base + size_t{b} * record_bytes, key_bytes) < 0;
+  });
+  out->resize(count * record_bytes);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(out->data() + i * record_bytes,
+                base + size_t{order[i]} * record_bytes, record_bytes);
+  }
+}
+
+/// Stream over an in-memory sorted buffer.
+class MemoryStream : public SortedRecordStream {
+ public:
+  MemoryStream(std::vector<uint8_t> data, size_t record_bytes)
+      : data_(std::move(data)), record_bytes_(record_bytes) {}
+
+  bool Next(uint8_t* out, Status* status) override {
+    *status = Status::OK();
+    if (pos_ + record_bytes_ > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, record_bytes_);
+    pos_ += record_bytes_;
+    return true;
+  }
+
+  uint64_t count() const override { return data_.size() / record_bytes_; }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t record_bytes_;
+  size_t pos_ = 0;
+};
+
+/// Stream over a single sorted run file.
+class FileStream : public SortedRecordStream {
+ public:
+  FileStream(size_t record_bytes, size_t buffer_bytes)
+      : record_bytes_(record_bytes), reader_(buffer_bytes) {}
+
+  Status Open(const std::string& path) {
+    COCONUT_RETURN_IF_ERROR(reader_.Open(path));
+    count_ = reader_.file_size() / record_bytes_;
+    return Status::OK();
+  }
+
+  bool Next(uint8_t* out, Status* status) override {
+    *status = Status::OK();
+    if (read_ >= count_) return false;
+    *status = reader_.Read(out, record_bytes_);
+    if (!status->ok()) return false;
+    ++read_;
+    return true;
+  }
+
+  uint64_t count() const override { return count_; }
+
+ private:
+  size_t record_bytes_;
+  BufferedReader reader_;
+  uint64_t count_ = 0;
+  uint64_t read_ = 0;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(ExternalSortOptions options)
+    : options_(std::move(options)) {
+  // Reserve half the budget for run generation; the other half is available
+  // to merge input buffers later (so the whole sorter respects the budget).
+  buffer_capacity_records_ =
+      std::max<size_t>(2, options_.memory_budget_bytes / 2 /
+                              std::max<size_t>(1, options_.record_bytes));
+}
+
+ExternalSorter::~ExternalSorter() {
+  for (const std::string& p : run_paths_) {
+    (void)RemoveAll(p);
+  }
+}
+
+Status ExternalSorter::Add(const uint8_t* record) {
+  if (finished_) return Status::Internal("Add after Finish");
+  buffer_.insert(buffer_.end(), record, record + options_.record_bytes);
+  ++total_records_;
+  if (buffer_.size() / options_.record_bytes >= buffer_capacity_records_) {
+    COCONUT_RETURN_IF_ERROR(SortAndSpillBuffer());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SortAndSpillBuffer() {
+  const size_t count = buffer_.size() / options_.record_bytes;
+  if (count == 0) return Status::OK();
+  std::vector<uint8_t> sorted;
+  SortBuffer(buffer_, options_.record_bytes, options_.key_bytes, count,
+             &sorted);
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  const std::string path = JoinPath(
+      options_.tmp_dir, "run-" + std::to_string(next_run_id_++) + ".bin");
+  BufferedWriter writer;
+  COCONUT_RETURN_IF_ERROR(writer.Open(path));
+  COCONUT_RETURN_IF_ERROR(writer.Write(sorted.data(), sorted.size()));
+  COCONUT_RETURN_IF_ERROR(writer.Finish());
+  run_paths_.push_back(path);
+  return Status::OK();
+}
+
+Status ExternalSorter::MergeRuns(const std::vector<std::string>& inputs,
+                                 const std::string& output) {
+  const size_t k = inputs.size();
+  // Split half the budget across the input buffers (min 64 KiB each).
+  const size_t per_input = std::max<size_t>(
+      64 * 1024, options_.memory_budget_bytes / 2 / std::max<size_t>(1, k));
+
+  struct Cursor {
+    std::unique_ptr<FileStream> stream;
+    std::vector<uint8_t> record;
+    bool valid = false;
+  };
+  std::vector<Cursor> cursors(k);
+  for (size_t i = 0; i < k; ++i) {
+    cursors[i].stream =
+        std::make_unique<FileStream>(options_.record_bytes, per_input);
+    COCONUT_RETURN_IF_ERROR(cursors[i].stream->Open(inputs[i]));
+    cursors[i].record.resize(options_.record_bytes);
+    Status st;
+    cursors[i].valid = cursors[i].stream->Next(cursors[i].record.data(), &st);
+    COCONUT_RETURN_IF_ERROR(st);
+  }
+
+  const size_t key_bytes = options_.key_bytes;
+  auto greater = [&](size_t a, size_t b) {
+    return std::memcmp(cursors[a].record.data(), cursors[b].record.data(),
+                       key_bytes) > 0;
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(
+      greater);
+  for (size_t i = 0; i < k; ++i) {
+    if (cursors[i].valid) heap.push(i);
+  }
+
+  BufferedWriter writer;
+  COCONUT_RETURN_IF_ERROR(writer.Open(output));
+  while (!heap.empty()) {
+    const size_t i = heap.top();
+    heap.pop();
+    COCONUT_RETURN_IF_ERROR(
+        writer.Write(cursors[i].record.data(), options_.record_bytes));
+    Status st;
+    cursors[i].valid = cursors[i].stream->Next(cursors[i].record.data(), &st);
+    COCONUT_RETURN_IF_ERROR(st);
+    if (cursors[i].valid) heap.push(i);
+  }
+  return writer.Finish();
+}
+
+Status ExternalSorter::Finish(std::unique_ptr<SortedRecordStream>* out) {
+  if (finished_) return Status::Internal("Finish called twice");
+  finished_ = true;
+  COCONUT_RETURN_IF_ERROR(options_.Validate());
+
+  if (run_paths_.empty()) {
+    // Everything fits in memory: sort and serve directly, no disk I/O.
+    const size_t count = buffer_.size() / options_.record_bytes;
+    std::vector<uint8_t> sorted;
+    SortBuffer(buffer_, options_.record_bytes, options_.key_bytes, count,
+               &sorted);
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    *out = std::make_unique<MemoryStream>(std::move(sorted),
+                                          options_.record_bytes);
+    return Status::OK();
+  }
+
+  // Spill any tail so that all data is in runs.
+  COCONUT_RETURN_IF_ERROR(SortAndSpillBuffer());
+
+  // Merge passes until one run remains, bounded by fan-in.
+  const size_t budget_fan_in = std::max<size_t>(
+      2, options_.memory_budget_bytes / 2 / (64 * 1024));
+  const size_t fan_in = std::min(options_.max_fan_in, budget_fan_in);
+  std::vector<std::string> current = run_paths_;
+  run_paths_.clear();
+  while (current.size() > 1) {
+    std::vector<std::string> next_level;
+    for (size_t i = 0; i < current.size(); i += fan_in) {
+      const size_t end = std::min(current.size(), i + fan_in);
+      std::vector<std::string> group(current.begin() + i,
+                                     current.begin() + end);
+      if (group.size() == 1) {
+        next_level.push_back(group[0]);
+        continue;
+      }
+      const std::string merged = JoinPath(
+          options_.tmp_dir, "run-" + std::to_string(next_run_id_++) + ".bin");
+      COCONUT_RETURN_IF_ERROR(MergeRuns(group, merged));
+      for (const std::string& g : group) {
+        COCONUT_RETURN_IF_ERROR(RemoveAll(g));
+      }
+      next_level.push_back(merged);
+    }
+    current.swap(next_level);
+  }
+  run_paths_ = current;  // single final run; destructor cleans it up
+
+  auto stream = std::make_unique<FileStream>(options_.record_bytes,
+                                             kDefaultIoBufferBytes);
+  COCONUT_RETURN_IF_ERROR(stream->Open(current[0]));
+  *out = std::move(stream);
+  return Status::OK();
+}
+
+}  // namespace coconut

@@ -1,0 +1,106 @@
+// External merge sort over fixed-size byte records (paper §3.1, "Bottom-up
+// Bulk-Loading Using External Sorting").
+//
+// Phase 1 (partitioning): records are accumulated into an in-memory buffer
+// bounded by the memory budget, sorted, and flushed as sorted runs.
+// Phase 2 (merging): runs are k-way merged with one input buffer per run.
+// When everything fits in memory the merge phase is skipped entirely (the
+// paper notes this is the common case for non-materialized indexes, where
+// only summarizations are sorted).
+//
+// Records are opaque byte strings of a fixed size; ordering is memcmp over
+// the first `key_bytes` (ZKey::SerializeBE produces keys whose memcmp order
+// equals their numeric order, so invSAX records sort correctly). If more
+// runs exist than the fan-in budget allows, intermediate merge passes are
+// performed.
+#ifndef COCONUT_SORT_EXTERNAL_SORT_H_
+#define COCONUT_SORT_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/io/buffered_io.h"
+
+namespace coconut {
+
+struct ExternalSortOptions {
+  /// Record size in bytes (key + payload).
+  size_t record_bytes = 0;
+  /// memcmp prefix that defines the sort order.
+  size_t key_bytes = 0;
+  /// In-memory buffer budget for run generation and merge input buffers.
+  size_t memory_budget_bytes = 64 * 1024 * 1024;
+  /// Directory for spilled runs.
+  std::string tmp_dir;
+  /// Maximum number of runs merged in one pass (also bounded by the memory
+  /// budget divided by the per-run input buffer size).
+  size_t max_fan_in = 64;
+
+  Status Validate() const {
+    if (record_bytes == 0) {
+      return Status::InvalidArgument("record_bytes must be > 0");
+    }
+    if (key_bytes == 0 || key_bytes > record_bytes) {
+      return Status::InvalidArgument("key_bytes must be in [1, record_bytes]");
+    }
+    if (memory_budget_bytes < record_bytes * 2) {
+      return Status::InvalidArgument("memory budget too small for two records");
+    }
+    if (tmp_dir.empty()) {
+      return Status::InvalidArgument("tmp_dir must be set");
+    }
+    return Status::OK();
+  }
+};
+
+/// Streaming interface over the sorted output.
+class SortedRecordStream {
+ public:
+  virtual ~SortedRecordStream() = default;
+
+  /// Copies the next record into `out` (record_bytes); returns false at end.
+  virtual bool Next(uint8_t* out, Status* status) = 0;
+
+  /// Total number of records in the stream.
+  virtual uint64_t count() const = 0;
+};
+
+class ExternalSorter {
+ public:
+  explicit ExternalSorter(ExternalSortOptions options);
+  ~ExternalSorter();
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Adds one record (options.record_bytes bytes). May spill a sorted run.
+  Status Add(const uint8_t* record);
+
+  /// Finishes ingestion, performs merge passes if needed, and returns a
+  /// stream over the fully sorted data. Call at most once.
+  Status Finish(std::unique_ptr<SortedRecordStream>* out);
+
+  /// Number of sorted runs spilled to disk so far (0 = all in memory).
+  size_t spilled_runs() const { return run_paths_.size(); }
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  Status SortAndSpillBuffer();
+  Status MergeRuns(const std::vector<std::string>& inputs,
+                   const std::string& output);
+
+  ExternalSortOptions options_;
+  std::vector<uint8_t> buffer_;   // staged records, unsorted
+  size_t buffer_capacity_records_;
+  std::vector<std::string> run_paths_;
+  uint64_t total_records_ = 0;
+  uint64_t next_run_id_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_SORT_EXTERNAL_SORT_H_

@@ -1,0 +1,56 @@
+// SAX breakpoints: the value axis is discretized into regions whose
+// boundaries are standard-normal quantiles, so that z-normalized values are
+// approximately uniformly distributed over regions (paper §2, Figure 1).
+//
+// Breakpoints nest across cardinalities: the boundaries at cardinality 2^b
+// are a subset of those at 2^(b+1), which is what makes iSAX's
+// multi-resolution prefix semantics work (the b-bit symbol of a value is the
+// top b bits of its (b+1)-bit symbol).
+#ifndef COCONUT_SUMMARY_BREAKPOINTS_H_
+#define COCONUT_SUMMARY_BREAKPOINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coconut {
+
+/// Maximum symbol width supported (256 regions), the iSAX default.
+inline constexpr unsigned kMaxCardinalityBits = 8;
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.15e-9 over (0,1)).
+double InverseNormalCdf(double p);
+
+/// Precomputed breakpoint tables for every cardinality 2^1 .. 2^kMax.
+class SaxBreakpoints {
+ public:
+  /// Returns the process-wide table (built once, immutable afterwards).
+  static const SaxBreakpoints& Get();
+
+  /// Breakpoints for cardinality 2^bits: a sorted vector of 2^bits - 1
+  /// values; region `s` covers [bp[s-1], bp[s]) with bp[-1] = -inf and
+  /// bp[2^bits - 1] = +inf.
+  const std::vector<double>& ForBits(unsigned bits) const {
+    return tables_[bits];
+  }
+
+  /// Lower edge of region `symbol` at cardinality 2^bits (-HUGE_VAL for the
+  /// lowest region).
+  double RegionLower(unsigned bits, uint32_t symbol) const;
+
+  /// Upper edge of region `symbol` at cardinality 2^bits (+HUGE_VAL for the
+  /// highest region).
+  double RegionUpper(unsigned bits, uint32_t symbol) const;
+
+  /// Symbol (0-based, 0 = lowest region) of `value` at cardinality 2^bits.
+  uint32_t Symbol(unsigned bits, double value) const;
+
+ private:
+  SaxBreakpoints();
+  // tables_[b] holds the breakpoints for cardinality 2^b; tables_[0] empty.
+  std::vector<std::vector<double>> tables_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_SUMMARY_BREAKPOINTS_H_

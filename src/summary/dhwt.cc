@@ -1,0 +1,77 @@
+#include "src/summary/dhwt.h"
+
+#include <cmath>
+#include <vector>
+
+namespace coconut {
+
+Status DhwtTransform(const Value* series, size_t n, double* out) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("DHWT requires power-of-two length");
+  }
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> work(series, series + n);
+  std::vector<double> next(n);
+  size_t len = n;
+  // Repeatedly split into (scaled) averages and details; details of the
+  // current pass are the finest remaining level, stored back-to-front.
+  size_t detail_end = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      next[i] = (work[2 * i] + work[2 * i + 1]) * inv_sqrt2;
+      out[detail_end - half + i] = (work[2 * i] - work[2 * i + 1]) * inv_sqrt2;
+    }
+    detail_end -= half;
+    len = half;
+    work.swap(next);
+  }
+  out[0] = work[0];
+  return Status::OK();
+}
+
+Status DhwtInverse(const double* coeffs, size_t n, double* out) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("DHWT requires power-of-two length");
+  }
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  std::vector<double> work(n);
+  std::vector<double> next(n);
+  work[0] = coeffs[0];
+  size_t len = 1;
+  size_t detail_begin = 1;
+  while (len < n) {
+    for (size_t i = 0; i < len; ++i) {
+      const double avg = work[i];
+      const double det = coeffs[detail_begin + i];
+      next[2 * i] = (avg + det) * inv_sqrt2;
+      next[2 * i + 1] = (avg - det) * inv_sqrt2;
+    }
+    detail_begin += len;
+    len *= 2;
+    work.swap(next);
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = work[i];
+  return Status::OK();
+}
+
+size_t DhwtLevels(size_t n) {
+  size_t levels = 1;
+  while (n > 1) {
+    ++levels;
+    n /= 2;
+  }
+  return levels;
+}
+
+void DhwtLevelRange(size_t level, size_t* begin, size_t* end) {
+  if (level == 0) {
+    *begin = 0;
+    *end = 1;
+    return;
+  }
+  *begin = size_t{1} << (level - 1);
+  *end = size_t{1} << level;
+}
+
+}  // namespace coconut

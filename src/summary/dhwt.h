@@ -1,0 +1,41 @@
+// Orthonormal Discrete Haar Wavelet Transform, the summarization used by the
+// Vertical baseline (Kashyap & Karras, "Scalable kNN search on vertically
+// stored time series"). The transform is orthonormal, so Euclidean distance
+// is preserved exactly in coefficient space (Parseval), and prefixes of the
+// coefficient vector (coarse levels first) give monotonically tightening
+// lower bounds — the property the Vertical index's stepwise scan exploits.
+#ifndef COCONUT_SUMMARY_DHWT_H_
+#define COCONUT_SUMMARY_DHWT_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+#include "src/series/series.h"
+
+namespace coconut {
+
+/// True if n is a power of two (DHWT requirement).
+inline bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Computes the orthonormal Haar transform of `series` (length n, a power of
+/// two) into `out` (length n). Layout: out[0] is the overall (scaled)
+/// average, followed by detail coefficients from the coarsest level (1
+/// coefficient) to the finest (n/2 coefficients). A prefix of k coefficients
+/// is the best k-term coarse representation.
+Status DhwtTransform(const Value* series, size_t n, double* out);
+
+/// Inverse transform (used in tests to verify orthonormality).
+Status DhwtInverse(const double* coeffs, size_t n, double* out);
+
+/// Number of resolution levels for length n: 1 (average) + log2(n) detail
+/// levels.
+size_t DhwtLevels(size_t n);
+
+/// Coefficient index range [begin, end) of resolution level `level`, where
+/// level 0 is the single average coefficient and level k >= 1 holds 2^(k-1)
+/// detail coefficients.
+void DhwtLevelRange(size_t level, size_t* begin, size_t* end);
+
+}  // namespace coconut
+
+#endif  // COCONUT_SUMMARY_DHWT_H_

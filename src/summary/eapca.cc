@@ -1,0 +1,53 @@
+#include "src/summary/eapca.h"
+
+#include <cmath>
+
+namespace coconut {
+
+namespace {
+inline double DistToRange(double q, double lo, double hi) {
+  if (q < lo) return lo - q;
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+}  // namespace
+
+void EapcaTransform(const Value* series, const Segmentation& seg,
+                    std::vector<SegmentStats>* out) {
+  out->resize(seg.size());
+  size_t begin = 0;
+  for (size_t s = 0; s < seg.size(); ++s) {
+    const size_t end = seg[s];
+    const size_t len = end - begin;
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += series[i];
+    const double mean = sum / static_cast<double>(len);
+    double sq = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double d = series[i] - mean;
+      sq += d * d;
+    }
+    (*out)[s].mean = mean;
+    (*out)[s].stddev = std::sqrt(sq / static_cast<double>(len));
+    begin = end;
+  }
+}
+
+double EapcaLowerBoundSq(const std::vector<SegmentStats>& query,
+                         const std::vector<SegmentEnvelope>& node,
+                         const Segmentation& seg) {
+  double sum = 0.0;
+  size_t begin = 0;
+  for (size_t s = 0; s < seg.size(); ++s) {
+    const size_t len = seg[s] - begin;
+    const double dm =
+        DistToRange(query[s].mean, node[s].mean_min, node[s].mean_max);
+    const double ds =
+        DistToRange(query[s].stddev, node[s].std_min, node[s].std_max);
+    sum += static_cast<double>(len) * (dm * dm + ds * ds);
+    begin = seg[s];
+  }
+  return sum;
+}
+
+}  // namespace coconut

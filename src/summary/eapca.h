@@ -1,0 +1,66 @@
+// Extended APCA (EAPCA) — the summarization used by the DSTree baseline
+// (Wang et al., PVLDB 2013). A series is described per segment by its mean
+// and standard deviation; a DSTree node stores, for each segment of its
+// current segmentation, the min/max of the means and stddevs of the resident
+// series, which yields a cheap lower bound:
+//
+//   ED^2(Q, X) >= sum_s len_s * [ d(q_mean_s, [mu_min, mu_max])^2
+//                               + d(q_std_s,  [sd_min, sd_max])^2 ]
+//
+// using the decomposition sum(q_i - x_i)^2 = len*(q_mean - x_mean)^2 +
+// ||(q - q_mean) - (x - x_mean)||^2 and the reverse triangle inequality on
+// the centred parts.
+#ifndef COCONUT_SUMMARY_EAPCA_H_
+#define COCONUT_SUMMARY_EAPCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/series/series.h"
+
+namespace coconut {
+
+/// Per-segment (mean, stddev) pair.
+struct SegmentStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A segmentation is the sorted list of segment END indices (exclusive);
+/// e.g. {64, 128, 192, 256} splits a 256-point series into four quarters.
+using Segmentation = std::vector<size_t>;
+
+/// Computes per-segment stats of `series` under `seg` into `out`
+/// (out->size() == seg.size()).
+void EapcaTransform(const Value* series, const Segmentation& seg,
+                    std::vector<SegmentStats>* out);
+
+/// Min/max envelope of segment stats across a set of series (a DSTree node
+/// synopsis).
+struct SegmentEnvelope {
+  double mean_min = 0.0;
+  double mean_max = 0.0;
+  double std_min = 0.0;
+  double std_max = 0.0;
+
+  void InitFrom(const SegmentStats& s) {
+    mean_min = mean_max = s.mean;
+    std_min = std_max = s.stddev;
+  }
+  void Extend(const SegmentStats& s) {
+    if (s.mean < mean_min) mean_min = s.mean;
+    if (s.mean > mean_max) mean_max = s.mean;
+    if (s.stddev < std_min) std_min = s.stddev;
+    if (s.stddev > std_max) std_max = s.stddev;
+  }
+};
+
+/// Squared lower bound from a query's segment stats to a node envelope under
+/// segmentation `seg` (see file comment for the formula).
+double EapcaLowerBoundSq(const std::vector<SegmentStats>& query,
+                         const std::vector<SegmentEnvelope>& node,
+                         const Segmentation& seg);
+
+}  // namespace coconut
+
+#endif  // COCONUT_SUMMARY_EAPCA_H_

@@ -1,0 +1,45 @@
+#include "src/summary/invsax.h"
+
+#include <vector>
+
+#include "src/summary/paa.h"
+#include "src/summary/sax.h"
+
+namespace coconut {
+
+ZKey InvSaxFromSax(const uint8_t* sax, const SummaryOptions& opts) {
+  ZKey key;
+  const unsigned b = opts.cardinality_bits;
+  const size_t w = opts.segments;
+  size_t pos = 0;  // bit position from the MSB of the key
+  for (unsigned level = 0; level < b; ++level) {
+    const unsigned sym_bit = b - 1 - level;  // most significant level first
+    for (size_t j = 0; j < w; ++j, ++pos) {
+      if ((sax[j] >> sym_bit) & 1u) key.SetBit(pos);
+    }
+  }
+  return key;
+}
+
+void SaxFromInvSax(const ZKey& key, const SummaryOptions& opts, uint8_t* out) {
+  const unsigned b = opts.cardinality_bits;
+  const size_t w = opts.segments;
+  for (size_t j = 0; j < w; ++j) out[j] = 0;
+  size_t pos = 0;
+  for (unsigned level = 0; level < b; ++level) {
+    const unsigned sym_bit = b - 1 - level;
+    for (size_t j = 0; j < w; ++j, ++pos) {
+      if (key.GetBit(pos)) {
+        out[j] = static_cast<uint8_t>(out[j] | (1u << sym_bit));
+      }
+    }
+  }
+}
+
+ZKey InvSaxFromSeries(const Value* series, const SummaryOptions& opts) {
+  std::vector<uint8_t> sax(opts.segments);
+  SaxFromSeries(series, opts, sax.data());
+  return InvSaxFromSax(sax.data(), opts);
+}
+
+}  // namespace coconut

@@ -1,0 +1,72 @@
+#include "src/summary/mindist.h"
+
+#include "src/summary/breakpoints.h"
+
+namespace coconut {
+
+namespace {
+/// Squared distance from point q to the interval [lo, hi] (0 if inside).
+inline double DistToRangeSq(double q, double lo, double hi) {
+  if (q < lo) {
+    const double d = lo - q;
+    return d * d;
+  }
+  if (q > hi) {
+    const double d = q - hi;
+    return d * d;
+  }
+  return 0.0;
+}
+}  // namespace
+
+double MindistSqPaaToPaa(const double* a, const double* b,
+                         const SummaryOptions& opts) {
+  double sum = 0.0;
+  for (size_t j = 0; j < opts.segments; ++j) {
+    const double d = a[j] - b[j];
+    sum += d * d;
+  }
+  return opts.segment_size() * sum;
+}
+
+double MindistSqPaaToSax(const double* query_paa, const uint8_t* sax,
+                         const SummaryOptions& opts) {
+  const SaxBreakpoints& bp = SaxBreakpoints::Get();
+  const unsigned bits = opts.cardinality_bits;
+  double sum = 0.0;
+  for (size_t j = 0; j < opts.segments; ++j) {
+    const double lo = bp.RegionLower(bits, sax[j]);
+    const double hi = bp.RegionUpper(bits, sax[j]);
+    sum += DistToRangeSq(query_paa[j], lo, hi);
+  }
+  return opts.segment_size() * sum;
+}
+
+double MindistSqPaaToSaxPrefix(const double* query_paa, const uint8_t* symbols,
+                               const uint8_t* prefix_bits,
+                               const SummaryOptions& opts) {
+  const SaxBreakpoints& bp = SaxBreakpoints::Get();
+  const unsigned max_bits = opts.cardinality_bits;
+  double sum = 0.0;
+  for (size_t j = 0; j < opts.segments; ++j) {
+    const unsigned p = prefix_bits[j];
+    if (p == 0) continue;  // whole axis: contributes nothing
+    // The meaningful symbol at p bits is the top p bits of the full symbol.
+    const uint32_t sym = static_cast<uint32_t>(symbols[j]) >> (max_bits - p);
+    const double lo = bp.RegionLower(p, sym);
+    const double hi = bp.RegionUpper(p, sym);
+    sum += DistToRangeSq(query_paa[j], lo, hi);
+  }
+  return opts.segment_size() * sum;
+}
+
+double MindistSqPaaToRect(const double* query_paa, const double* lo,
+                          const double* hi, const SummaryOptions& opts) {
+  double sum = 0.0;
+  for (size_t j = 0; j < opts.segments; ++j) {
+    sum += DistToRangeSq(query_paa[j], lo[j], hi[j]);
+  }
+  return opts.segment_size() * sum;
+}
+
+}  // namespace coconut

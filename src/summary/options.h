@@ -1,0 +1,50 @@
+// Summarization configuration shared by every index in the repository.
+#ifndef COCONUT_SUMMARY_OPTIONS_H_
+#define COCONUT_SUMMARY_OPTIONS_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+#include "src/common/zkey.h"
+#include "src/summary/breakpoints.h"
+
+namespace coconut {
+
+/// Parameters of the PAA/SAX summarization. Defaults mirror the paper's
+/// evaluation: series of 256 points, 16 segments, 8-bit symbols (so a SAX
+/// word is 16 bytes and an invSAX key uses 128 bits).
+struct SummaryOptions {
+  size_t series_length = 256;
+  size_t segments = 16;
+  unsigned cardinality_bits = 8;
+
+  /// Number of bits used by the interleaved (invSAX) key.
+  size_t key_bits() const { return segments * cardinality_bits; }
+
+  /// Scaling factor n/w from the PAA/SAX lower-bound lemmas.
+  double segment_size() const {
+    return static_cast<double>(series_length) / static_cast<double>(segments);
+  }
+
+  Status Validate() const {
+    if (series_length == 0 || segments == 0) {
+      return Status::InvalidArgument("series_length and segments must be > 0");
+    }
+    if (series_length % segments != 0) {
+      return Status::InvalidArgument(
+          "series_length must be divisible by segments");
+    }
+    if (cardinality_bits == 0 || cardinality_bits > kMaxCardinalityBits) {
+      return Status::InvalidArgument("cardinality_bits must be in [1, 8]");
+    }
+    if (key_bits() > ZKey::kBits) {
+      return Status::InvalidArgument(
+          "segments * cardinality_bits exceeds the 256-bit key width");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_SUMMARY_OPTIONS_H_

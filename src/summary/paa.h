@@ -1,0 +1,19 @@
+// Piecewise Aggregate Approximation: the series is partitioned into
+// equal-sized segments and each segment is replaced by its mean value
+// (paper §2, Figure 1 middle).
+#ifndef COCONUT_SUMMARY_PAA_H_
+#define COCONUT_SUMMARY_PAA_H_
+
+#include <cstddef>
+
+#include "src/series/series.h"
+
+namespace coconut {
+
+/// Computes the `segments` PAA coefficients of `series` (length `n`,
+/// n divisible by segments) into `out`.
+void PaaTransform(const Value* series, size_t n, size_t segments, double* out);
+
+}  // namespace coconut
+
+#endif  // COCONUT_SUMMARY_PAA_H_

@@ -1,0 +1,24 @@
+#include "src/summary/sax.h"
+
+#include <vector>
+
+#include "src/summary/breakpoints.h"
+#include "src/summary/paa.h"
+
+namespace coconut {
+
+void SaxFromPaa(const double* paa, const SummaryOptions& opts, uint8_t* out) {
+  const SaxBreakpoints& bp = SaxBreakpoints::Get();
+  for (size_t s = 0; s < opts.segments; ++s) {
+    out[s] = static_cast<uint8_t>(bp.Symbol(opts.cardinality_bits, paa[s]));
+  }
+}
+
+void SaxFromSeries(const Value* series, const SummaryOptions& opts,
+                   uint8_t* out) {
+  std::vector<double> paa(opts.segments);
+  PaaTransform(series, opts.series_length, opts.segments, paa.data());
+  SaxFromPaa(paa.data(), opts, out);
+}
+
+}  // namespace coconut

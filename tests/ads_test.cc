@@ -1,0 +1,151 @@
+// ADS / ADS+ / ADSFull baseline: SIMS exact search correctness, adaptive
+// refinement behaviour, materialization, and batch updates.
+#include "src/baselines/ads/ads_index.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::BruteForceNn;
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+struct AdsCase {
+  DatasetKind kind;
+  bool materialized;
+  size_t count;
+  size_t adaptive_target;
+};
+
+class AdsTest : public ::testing::TestWithParam<AdsCase> {
+ protected:
+  void Build(const AdsCase& c) {
+    raw_ = dir_.File("data.bin");
+    data_ = MakeDatasetFile(raw_, c.kind, c.count, 64, 91);
+    AdsOptions opts;
+    opts.summary.series_length = 64;
+    opts.summary.segments = 16;
+    opts.leaf_capacity = 200;
+    opts.materialized = c.materialized;
+    opts.adaptive_leaf_target = c.adaptive_target;
+    ASSERT_OK(AdsIndex::Build(raw_, dir_.File("ads.pages"), opts, &index_));
+  }
+
+  ScratchDir dir_;
+  std::string raw_;
+  std::vector<Series> data_;
+  std::unique_ptr<AdsIndex> index_;
+};
+
+TEST_P(AdsTest, ExactSimsEqualsBruteForce) {
+  Build(GetParam());
+  auto qgen = MakeGenerator(GetParam().kind, 64, 700);
+  for (int q = 0; q < 15; ++q) {
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+    SearchResult res;
+    ASSERT_OK(index_->ExactSearch(query.data(), &res));
+    EXPECT_NEAR(res.distance, bf_dist, 1e-4) << "query " << q;
+  }
+}
+
+TEST_P(AdsTest, ApproxIsUpperBoundOfExact) {
+  Build(GetParam());
+  auto qgen = MakeGenerator(GetParam().kind, 64, 701);
+  for (int q = 0; q < 8; ++q) {
+    const Series query = qgen->NextSeries();
+    SearchResult approx, exact;
+    ASSERT_OK(index_->ApproxSearch(query.data(), &approx));
+    ASSERT_OK(index_->ExactSearch(query.data(), &exact));
+    EXPECT_GE(approx.distance + 1e-6, exact.distance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, AdsTest,
+    ::testing::Values(AdsCase{DatasetKind::kRandomWalk, false, 2000, 50},
+                      AdsCase{DatasetKind::kRandomWalk, true, 2000, 0},
+                      AdsCase{DatasetKind::kSeismic, false, 1500, 50},
+                      AdsCase{DatasetKind::kAstronomy, false, 1500, 0}),
+    [](const auto& info) {
+      const AdsCase& c = info.param;
+      return std::string(DatasetKindName(c.kind)) +
+             (c.materialized ? "_full_" : "_plus_") + std::to_string(c.count) +
+             "_adapt" + std::to_string(c.adaptive_target);
+    });
+
+TEST(AdsAdaptive, QueriesRefineLeaves) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  auto data = MakeDatasetFile(raw, DatasetKind::kRandomWalk, 3000, 64, 92);
+  AdsOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 16;
+  opts.leaf_capacity = 2000;
+  opts.adaptive_leaf_target = 100;
+  std::unique_ptr<AdsIndex> index;
+  ASSERT_OK(AdsIndex::Build(raw, dir.File("ads.pages"), opts, &index));
+  const uint64_t before = index->num_leaves();
+  auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 93);
+  for (int q = 0; q < 10; ++q) {
+    const Series query = qgen->NextSeries();
+    SearchResult res;
+    ASSERT_OK(index->ApproxSearch(query.data(), &res));
+  }
+  // ADS+ splits visited leaves: the leaf count must grow as queries arrive.
+  EXPECT_GT(index->num_leaves(), before);
+}
+
+TEST(AdsUpdates, InsertBatchKeepsExactness) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  auto data = MakeDatasetFile(raw, DatasetKind::kRandomWalk, 1200, 64, 94);
+  AdsOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 16;
+  opts.leaf_capacity = 200;
+  std::unique_ptr<AdsIndex> index;
+  ASSERT_OK(AdsIndex::Build(raw, dir.File("ads.pages"), opts, &index));
+
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 95);
+  uint64_t raw_bytes = data.size() * 64 * sizeof(Value);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Series> batch;
+    for (int i = 0; i < 300; ++i) {
+      batch.push_back(gen->NextSeries());
+      data.push_back(batch.back());
+    }
+    ASSERT_OK(AppendToDataset(raw, batch));
+    ASSERT_OK(index->InsertBatch(batch, raw_bytes));
+    raw_bytes += batch.size() * 64 * sizeof(Value);
+
+    const Series query = gen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data, query);
+    SearchResult res;
+    ASSERT_OK(index->ExactSearch(query.data(), &res));
+    EXPECT_NEAR(res.distance, bf_dist, 1e-4) << "round " << round;
+  }
+  EXPECT_EQ(index->num_entries(), data.size());
+}
+
+TEST(AdsBuildStats, MaterializationCostsSecondPass) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  MakeDatasetFile(raw, DatasetKind::kRandomWalk, 1500, 64, 96);
+  AdsOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 16;
+  opts.leaf_capacity = 200;
+  opts.materialized = true;
+  std::unique_ptr<AdsIndex> index;
+  AdsBuildStats stats;
+  ASSERT_OK(AdsIndex::Build(raw, dir.File("ads.pages"), opts, &index,
+                            &stats));
+  EXPECT_GT(stats.materialize_seconds, 0.0);
+  EXPECT_EQ(stats.num_entries, 1500u);
+}
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,326 @@
+// Coconut-Tree: structural invariants (balance, fill, sorted contiguous
+// leaves), query correctness (exact search == brute force on every dataset
+// family, materialized and not), persistence, and batch updates.
+#include "src/core/coconut_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/io/io_stats.h"
+#include "src/series/distance.h"
+#include "src/summary/invsax.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::BruteForceNn;
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+struct TreeCase {
+  DatasetKind kind;
+  bool materialized;
+  size_t count;
+  size_t length;
+  size_t leaf_capacity;
+};
+
+class CoconutTreeTest : public ::testing::TestWithParam<TreeCase> {
+ protected:
+  CoconutOptions MakeOptions(const TreeCase& c, const ScratchDir& dir) {
+    CoconutOptions opts;
+    opts.summary.series_length = c.length;
+    opts.summary.segments = 16;
+    opts.summary.cardinality_bits = 8;
+    opts.leaf_capacity = c.leaf_capacity;
+    opts.materialized = c.materialized;
+    opts.memory_budget_bytes = 8 << 20;
+    opts.tmp_dir = dir.path();
+    return opts;
+  }
+};
+
+TEST_P(CoconutTreeTest, ExactSearchEqualsBruteForce) {
+  const TreeCase& c = GetParam();
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  const std::string index = dir.File("index.ctree");
+  std::vector<Series> data = MakeDatasetFile(raw, c.kind, c.count, c.length, 5);
+
+  CoconutOptions opts = MakeOptions(c, dir);
+  ASSERT_OK(CoconutTree::Build(raw, index, opts));
+  std::unique_ptr<CoconutTree> tree;
+  ASSERT_OK(CoconutTree::Open(index, raw, &tree));
+  ASSERT_EQ(tree->num_entries(), c.count);
+
+  auto qgen = MakeGenerator(c.kind, c.length, 777);
+  for (int q = 0; q < 20; ++q) {
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data, query);
+    SearchResult result;
+    ASSERT_OK(tree->ExactSearch(query.data(), 1, &result));
+    EXPECT_NEAR(result.distance, bf_dist, 1e-4)
+        << "query " << q << ": exact search disagrees with brute force";
+    EXPECT_GT(result.visited_records, 0u);
+    EXPECT_LE(result.visited_records, c.count + c.leaf_capacity);
+  }
+}
+
+TEST_P(CoconutTreeTest, ApproxNeverBeatsExactAndIsValid) {
+  const TreeCase& c = GetParam();
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  const std::string index = dir.File("index.ctree");
+  std::vector<Series> data = MakeDatasetFile(raw, c.kind, c.count, c.length, 6);
+
+  CoconutOptions opts = MakeOptions(c, dir);
+  ASSERT_OK(CoconutTree::Build(raw, index, opts));
+  std::unique_ptr<CoconutTree> tree;
+  ASSERT_OK(CoconutTree::Open(index, raw, &tree));
+
+  auto qgen = MakeGenerator(c.kind, c.length, 888);
+  for (int q = 0; q < 10; ++q) {
+    const Series query = qgen->NextSeries();
+    SearchResult approx, exact;
+    ASSERT_OK(tree->ApproxSearch(query.data(), 1, &approx));
+    ASSERT_OK(tree->ExactSearch(query.data(), 1, &exact));
+    // The approximate answer is a real series, so its distance is an upper
+    // bound of the exact distance.
+    EXPECT_GE(approx.distance + 1e-6, exact.distance);
+    // And it must equal the true distance of the series it points at.
+    const size_t idx = approx.offset / (c.length * sizeof(Value));
+    ASSERT_LT(idx, data.size());
+    const double d = Euclidean(data[idx].data(), query.data(), c.length);
+    EXPECT_NEAR(approx.distance, d, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CoconutTreeTest,
+    ::testing::Values(
+        TreeCase{DatasetKind::kRandomWalk, false, 3000, 64, 128},
+        TreeCase{DatasetKind::kRandomWalk, true, 3000, 64, 128},
+        TreeCase{DatasetKind::kSeismic, false, 2000, 64, 100},
+        TreeCase{DatasetKind::kSeismic, true, 2000, 64, 100},
+        TreeCase{DatasetKind::kAstronomy, false, 2000, 64, 100},
+        TreeCase{DatasetKind::kAstronomy, true, 2000, 64, 100},
+        // Single leaf and exactly-full-leaf boundary cases.
+        TreeCase{DatasetKind::kRandomWalk, false, 100, 64, 128},
+        TreeCase{DatasetKind::kRandomWalk, false, 256, 64, 128},
+        // Deep tree: tiny leaves force multiple internal levels.
+        TreeCase{DatasetKind::kRandomWalk, false, 4000, 32, 8}),
+    [](const auto& info) {
+      const TreeCase& c = info.param;
+      return std::string(DatasetKindName(c.kind)) +
+             (c.materialized ? "_mat_" : "_nonmat_") +
+             std::to_string(c.count) + "x" + std::to_string(c.length) +
+             "_leaf" + std::to_string(c.leaf_capacity);
+    });
+
+class CoconutTreeStructureTest : public ::testing::Test {
+ protected:
+  void BuildSmall(size_t count, size_t leaf_capacity, double fill,
+                  bool materialized = false) {
+    raw_ = dir_.File("data.bin");
+    index_ = dir_.File("index.ctree");
+    data_ = MakeDatasetFile(raw_, DatasetKind::kRandomWalk, count, 64, 9);
+    opts_.summary.series_length = 64;
+    opts_.summary.segments = 16;
+    opts_.leaf_capacity = leaf_capacity;
+    opts_.fill_factor = fill;
+    opts_.materialized = materialized;
+    opts_.tmp_dir = dir_.path();
+    ASSERT_OK(CoconutTree::Build(raw_, index_, opts_));
+    ASSERT_OK(CoconutTree::Open(index_, raw_, &tree_));
+  }
+
+  ScratchDir dir_;
+  std::string raw_, index_;
+  std::vector<Series> data_;
+  CoconutOptions opts_;
+  std::unique_ptr<CoconutTree> tree_;
+};
+
+TEST_F(CoconutTreeStructureTest, LeavesAreGloballySortedAndDense) {
+  BuildSmall(5000, 100, 1.0);
+  EXPECT_EQ(tree_->num_leaves(), 50u);
+  EXPECT_DOUBLE_EQ(tree_->AvgLeafFill(), 1.0);
+  ZKey prev;
+  bool first = true;
+  uint64_t total = 0;
+  std::vector<bool> seen(data_.size(), false);
+  for (uint64_t lf = 0; lf < tree_->num_leaves(); ++lf) {
+    std::vector<ZKey> keys;
+    std::vector<uint64_t> offsets;
+    ASSERT_OK(tree_->ReadLeafEntries(lf, &keys, &offsets));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!first) {
+        EXPECT_TRUE(prev <= keys[i]) << "leaf " << lf;
+      }
+      prev = keys[i];
+      first = false;
+      const size_t idx = offsets[i] / (64 * sizeof(Value));
+      ASSERT_LT(idx, seen.size());
+      EXPECT_FALSE(seen[idx]) << "offset appears twice";
+      seen[idx] = true;
+      // The stored key must be the invSAX of the series it points at.
+      EXPECT_EQ(keys[i], InvSaxFromSeries(data_[idx].data(), opts_.summary));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, data_.size());
+}
+
+TEST_F(CoconutTreeStructureTest, FillFactorControlsPacking) {
+  BuildSmall(1000, 100, 0.5);
+  // 1000 entries at 50 per leaf.
+  EXPECT_EQ(tree_->num_leaves(), 20u);
+  EXPECT_NEAR(tree_->AvgLeafFill(), 0.5, 1e-9);
+}
+
+TEST_F(CoconutTreeStructureTest, HeightGrowsLogarithmically) {
+  BuildSmall(4000, 4, 1.0);  // 1000 leaves, fanout ~102 -> 2 internal levels
+  EXPECT_EQ(tree_->num_leaves(), 1000u);
+  EXPECT_EQ(tree_->height(), 3u);
+}
+
+TEST_F(CoconutTreeStructureTest, SingleLeafTreeHasNoInternalLevels) {
+  BuildSmall(50, 100, 1.0);
+  EXPECT_EQ(tree_->num_leaves(), 1u);
+  EXPECT_EQ(tree_->height(), 1u);
+}
+
+TEST_F(CoconutTreeStructureTest, ReopenedIndexAnswersQueries) {
+  BuildSmall(2000, 100, 1.0);
+  tree_.reset();
+  std::unique_ptr<CoconutTree> reopened;
+  ASSERT_OK(CoconutTree::Open(index_, raw_, &reopened));
+  auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 11);
+  const Series query = qgen->NextSeries();
+  const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+  SearchResult result;
+  ASSERT_OK(reopened->ExactSearch(query.data(), 1, &result));
+  EXPECT_NEAR(result.distance, bf_dist, 1e-4);
+}
+
+TEST_F(CoconutTreeStructureTest, BuildIsSequentialIo) {
+  IoStats::Instance().Reset();
+  BuildSmall(5000, 100, 1.0);
+  const IoSnapshot s = IoStats::Instance().Snapshot();
+  // Bottom-up bulk loading must be nearly all sequential I/O: allow only a
+  // handful of random accesses (superblock rewrite, file opens).
+  EXPECT_LE(s.random_write_ops, 5u) << s.ToString();
+  EXPECT_GE(s.write_ops, 1u);
+}
+
+TEST_F(CoconutTreeStructureTest, MergeBatchKeepsExactness) {
+  BuildSmall(1500, 100, 1.0);
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 33);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Series> batch;
+    for (int i = 0; i < 400; ++i) {
+      batch.push_back(gen->NextSeries());
+      data_.push_back(batch.back());
+    }
+    ASSERT_OK(tree_->MergeBatch(batch));
+    ASSERT_EQ(tree_->num_entries(), data_.size());
+    auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 100 + round);
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+    SearchResult result;
+    ASSERT_OK(tree_->ExactSearch(query.data(), 1, &result));
+    EXPECT_NEAR(result.distance, bf_dist, 1e-4) << "round " << round;
+  }
+}
+
+TEST_F(CoconutTreeStructureTest, MergeBatchMaterialized) {
+  BuildSmall(1000, 100, 1.0, /*materialized=*/true);
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 34);
+  std::vector<Series> batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.push_back(gen->NextSeries());
+    data_.push_back(batch.back());
+  }
+  ASSERT_OK(tree_->MergeBatch(batch));
+  const Series query = gen->NextSeries();
+  const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+  SearchResult result;
+  ASSERT_OK(tree_->ExactSearch(query.data(), 1, &result));
+  EXPECT_NEAR(result.distance, bf_dist, 1e-4);
+}
+
+TEST_F(CoconutTreeStructureTest, LargerApproxRadiusNeverWorsensAnswer) {
+  BuildSmall(4000, 50, 1.0);
+  auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 55);
+  for (int q = 0; q < 10; ++q) {
+    const Series query = qgen->NextSeries();
+    double prev = std::numeric_limits<double>::infinity();
+    for (size_t r : {1, 2, 4, 10}) {
+      SearchResult res;
+      ASSERT_OK(tree_->ApproxSearch(query.data(), r, &res));
+      EXPECT_LE(res.distance, prev + 1e-9)
+          << "radius " << r << " worsened the approximate answer";
+      prev = res.distance;
+      EXPECT_EQ(res.leaves_read, std::min<uint64_t>(r, tree_->num_leaves()));
+    }
+  }
+}
+
+TEST(CoconutTreeErrors, EmptyDatasetRejected) {
+  ScratchDir dir;
+  const std::string raw = dir.File("empty.bin");
+  {
+    BufferedWriter w;
+    ASSERT_OK(w.Open(raw));
+    ASSERT_OK(w.Finish());
+  }
+  CoconutOptions opts;
+  opts.summary.series_length = 64;
+  opts.tmp_dir = dir.path();
+  Status st = CoconutTree::Build(raw, dir.File("i.ctree"), opts);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(CoconutTreeErrors, InvalidOptionsRejected) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  MakeDatasetFile(raw, DatasetKind::kRandomWalk, 10, 64, 1);
+  CoconutOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 7;  // does not divide 64
+  opts.tmp_dir = dir.path();
+  EXPECT_FALSE(CoconutTree::Build(raw, dir.File("i.ctree"), opts).ok());
+  opts.summary.segments = 16;
+  opts.fill_factor = 0.0;
+  EXPECT_FALSE(CoconutTree::Build(raw, dir.File("i.ctree"), opts).ok());
+}
+
+TEST(CoconutTreeErrors, OpenMissingFileFails) {
+  ScratchDir dir;
+  std::unique_ptr<CoconutTree> tree;
+  EXPECT_FALSE(
+      CoconutTree::Open(dir.File("missing.ctree"), dir.File("m.bin"), &tree)
+          .ok());
+}
+
+TEST(CoconutTreeErrors, OpenCorruptSuperblockFails) {
+  ScratchDir dir;
+  const std::string index = dir.File("bogus.ctree");
+  {
+    BufferedWriter w;
+    ASSERT_OK(w.Open(index));
+    std::vector<uint8_t> junk(kSuperblockBytes, 0xAB);
+    ASSERT_OK(w.Write(junk.data(), junk.size()));
+    ASSERT_OK(w.Finish());
+  }
+  const std::string raw = dir.File("data.bin");
+  MakeDatasetFile(raw, DatasetKind::kRandomWalk, 10, 64, 2);
+  std::unique_ptr<CoconutTree> tree;
+  Status st = CoconutTree::Open(index, raw, &tree);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace coconut

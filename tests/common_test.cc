@@ -1,0 +1,129 @@
+// Status, env helpers, options validation, and bit utilities.
+#include "gtest/gtest.h"
+#include "src/common/bits.h"
+#include "src/common/env.h"
+#include "src/common/status.h"
+#include "src/core/coconut_options.h"
+#include "src/summary/options.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::ScratchDir;
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::IOError("disk on fire").ToString(),
+            "IOError: disk on fire");
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  auto inner = []() { return Status::NotFound("missing"); };
+  auto outer = [&]() -> Status {
+    COCONUT_RETURN_IF_ERROR(inner());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(Bits, Helpers) {
+  EXPECT_EQ(GetBit(0b1010, 1), 1u);
+  EXPECT_EQ(GetBit(0b1010, 2), 0u);
+  uint64_t v = 0;
+  AssignBit(&v, 5, 1);
+  EXPECT_EQ(v, 32u);
+  AssignBit(&v, 5, 0);
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(RoundUp(10, 8), 16u);
+}
+
+TEST(Env, TempDirAndRemoveAll) {
+  std::string dir;
+  ASSERT_OK(MakeTempDir("coconut-envtest-", &dir));
+  EXPECT_FALSE(dir.empty());
+  const std::string file = JoinPath(dir, "x.txt");
+  {
+    BufferedWriter w;
+    ASSERT_OK(w.Open(file));
+    ASSERT_OK(w.Write("hi", 2));
+    ASSERT_OK(w.Finish());
+  }
+  EXPECT_TRUE(FileExists(file));
+  uint64_t size = 0;
+  ASSERT_OK(FileSize(file, &size));
+  EXPECT_EQ(size, 2u);
+  ASSERT_OK(RemoveAll(dir));
+  EXPECT_FALSE(FileExists(file));
+  // Removing a missing path is not an error.
+  ASSERT_OK(RemoveAll(dir));
+}
+
+TEST(Env, RenameFile) {
+  ScratchDir dir;
+  const std::string a = dir.File("a"), b = dir.File("b");
+  {
+    BufferedWriter w;
+    ASSERT_OK(w.Open(a));
+    ASSERT_OK(w.Write("z", 1));
+    ASSERT_OK(w.Finish());
+  }
+  ASSERT_OK(RenameFile(a, b));
+  EXPECT_FALSE(FileExists(a));
+  EXPECT_TRUE(FileExists(b));
+}
+
+TEST(Env, JoinPath) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+TEST(SummaryOptions, ValidatesConfigurations) {
+  SummaryOptions s;
+  EXPECT_OK(s.Validate());  // defaults: 256 / 16 / 8
+  s.segments = 7;
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());  // 256 % 7 != 0
+  s.segments = 16;
+  s.cardinality_bits = 0;
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+  s.cardinality_bits = 9;
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+  s.cardinality_bits = 8;
+  s.segments = 64;  // 64 * 8 = 512 bits > 256-bit key
+  s.series_length = 512;
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(CoconutOptions, ValidatesAndDerives) {
+  CoconutOptions o;
+  EXPECT_OK(o.Validate());
+  EXPECT_EQ(o.EntriesPerLeaf(), 2000u);
+  o.fill_factor = 0.5;
+  EXPECT_EQ(o.EntriesPerLeaf(), 1000u);
+  o.fill_factor = 1.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.fill_factor = 1.0;
+  o.leaf_capacity = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.leaf_capacity = 100;
+  o.memory_budget_bytes = 1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  EXPECT_GT(o.EffectiveThreads(), 0u);
+}
+
+}  // namespace
+}  // namespace coconut

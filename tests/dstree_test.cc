@@ -1,0 +1,175 @@
+// DSTree baseline: EAPCA lower-bound property, adaptive segmentation, and
+// exact best-first search correctness.
+#include "src/baselines/dstree/dstree_index.h"
+
+#include "gtest/gtest.h"
+#include "src/series/distance.h"
+#include "src/summary/eapca.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::BruteForceNn;
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+TEST(Eapca, TransformComputesSegmentStats) {
+  const std::vector<Value> s = {1, 1, 1, 1, 2, 4, 2, 4};
+  Segmentation seg = {4, 8};
+  std::vector<SegmentStats> stats;
+  EapcaTransform(s.data(), seg, &stats);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats[1].stddev, 1.0);
+}
+
+TEST(Eapca, LowerBoundHoldsForRandomSeries) {
+  // The envelope bound must lower-bound the true distance to every series
+  // covered by the envelope, under any segmentation.
+  Rng seg_rng(5);
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 128, 121);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random segmentation of 128 points.
+    Segmentation seg;
+    size_t pos = 0;
+    while (pos < 128) {
+      pos += 8 + seg_rng.UniformInt(32);
+      seg.push_back(std::min<size_t>(pos, 128));
+    }
+    if (seg.back() != 128) seg.push_back(128);
+
+    // Envelope over a small population.
+    std::vector<Series> population;
+    std::vector<SegmentEnvelope> env(seg.size());
+    std::vector<SegmentStats> stats;
+    for (int i = 0; i < 20; ++i) {
+      population.push_back(gen->NextSeries());
+      EapcaTransform(population.back().data(), seg, &stats);
+      for (size_t s = 0; s < seg.size(); ++s) {
+        if (i == 0) {
+          env[s].InitFrom(stats[s]);
+        } else {
+          env[s].Extend(stats[s]);
+        }
+      }
+    }
+    const Series query = gen->NextSeries();
+    std::vector<SegmentStats> qstats;
+    EapcaTransform(query.data(), seg, &qstats);
+    const double lb = EapcaLowerBoundSq(qstats, env, seg);
+    for (const Series& x : population) {
+      const double actual = SquaredEuclidean(query.data(), x.data(), 128);
+      EXPECT_LE(lb, actual + 1e-6);
+    }
+  }
+}
+
+struct DstreeCase {
+  DatasetKind kind;
+  size_t count;
+  size_t leaf_capacity;
+};
+
+class DstreeTest : public ::testing::TestWithParam<DstreeCase> {
+ protected:
+  void Build(const DstreeCase& c) {
+    raw_ = dir_.File("data.bin");
+    data_ = MakeDatasetFile(raw_, c.kind, c.count, 64, 131);
+    DstreeOptions opts;
+    opts.series_length = 64;
+    opts.initial_segments = 4;
+    opts.leaf_capacity = c.leaf_capacity;
+    ASSERT_OK(DstreeIndex::Create(opts, dir_.File("dstree.pages"), &index_));
+    const uint64_t series_bytes = 64 * sizeof(Value);
+    for (size_t i = 0; i < data_.size(); ++i) {
+      ASSERT_OK(index_->Insert(data_[i].data(), i * series_bytes));
+    }
+  }
+
+  ScratchDir dir_;
+  std::string raw_;
+  std::vector<Series> data_;
+  std::unique_ptr<DstreeIndex> index_;
+};
+
+TEST_P(DstreeTest, ExactSearchEqualsBruteForce) {
+  Build(GetParam());
+  auto qgen = MakeGenerator(GetParam().kind, 64, 1000);
+  for (int q = 0; q < 15; ++q) {
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+    SearchResult res;
+    ASSERT_OK(index_->ExactSearch(query.data(), &res));
+    EXPECT_NEAR(res.distance, bf_dist, 1e-4) << "query " << q;
+  }
+}
+
+TEST_P(DstreeTest, AllEntriesAccounted) {
+  Build(GetParam());
+  EXPECT_EQ(index_->num_entries(), GetParam().count);
+  ASSERT_OK(index_->FlushAll());
+  const Series query = data_[0];
+  SearchResult res;
+  ASSERT_OK(index_->ExactSearch(query.data(), &res));
+  EXPECT_NEAR(res.distance, 0.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, DstreeTest,
+    ::testing::Values(DstreeCase{DatasetKind::kRandomWalk, 1500, 100},
+                      DstreeCase{DatasetKind::kSeismic, 1200, 64},
+                      DstreeCase{DatasetKind::kAstronomy, 1200, 64},
+                      // Single-leaf edge case.
+                      DstreeCase{DatasetKind::kRandomWalk, 60, 100}),
+    [](const auto& info) {
+      const DstreeCase& c = info.param;
+      return std::string(DatasetKindName(c.kind)) + "_" +
+             std::to_string(c.count) + "_leaf" +
+             std::to_string(c.leaf_capacity);
+    });
+
+TEST(DstreeAdaptive, VerticalSplitsRefineSegmentation) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  auto data = MakeDatasetFile(raw, DatasetKind::kSeismic, 3000, 64, 141);
+  DstreeOptions opts;
+  opts.series_length = 64;
+  opts.initial_segments = 2;
+  opts.leaf_capacity = 50;
+  std::unique_ptr<DstreeIndex> index;
+  ASSERT_OK(DstreeIndex::Create(opts, dir.File("d.pages"), &index));
+  const uint64_t series_bytes = 64 * sizeof(Value);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(index->Insert(data[i].data(), i * series_bytes));
+  }
+  // The adaptive index should have refined at least one node's segmentation
+  // beyond the initial two segments.
+  EXPECT_GT(index->MaxSegments(), 2u);
+  EXPECT_GT(index->num_leaves(), 1u);
+}
+
+TEST(DstreeDuplicates, IdenticalSeriesFormOversizedLeaf) {
+  ScratchDir dir;
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 151);
+  const Series base = gen->NextSeries();
+  DstreeOptions opts;
+  opts.series_length = 64;
+  opts.leaf_capacity = 32;
+  std::unique_ptr<DstreeIndex> index;
+  ASSERT_OK(DstreeIndex::Create(opts, dir.File("d.pages"), &index));
+  std::vector<Series> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(base);
+    ASSERT_OK(index->Insert(base.data(), i * 64 * sizeof(Value)));
+  }
+  EXPECT_EQ(index->num_entries(), 100u);
+  SearchResult res;
+  ASSERT_OK(index->ExactSearch(base.data(), &res));
+  EXPECT_NEAR(res.distance, 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace coconut

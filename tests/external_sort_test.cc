@@ -1,0 +1,184 @@
+// External sorter: correctness (sorted permutation of the input) across
+// memory budgets that force zero, few, and many spilled runs, including
+// multi-pass merges.
+#include "src/sort/external_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::ScratchDir;
+
+struct SortCase {
+  size_t record_bytes;
+  size_t key_bytes;
+  size_t count;
+  size_t memory_budget;
+  size_t max_fan_in;
+};
+
+class ExternalSortTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(ExternalSortTest, ProducesSortedPermutation) {
+  const SortCase& c = GetParam();
+  ScratchDir dir;
+  ExternalSortOptions opts;
+  opts.record_bytes = c.record_bytes;
+  opts.key_bytes = c.key_bytes;
+  opts.memory_budget_bytes = c.memory_budget;
+  opts.tmp_dir = dir.path();
+  opts.max_fan_in = c.max_fan_in;
+
+  Rng rng(c.count * 31 + c.memory_budget);
+  std::vector<std::vector<uint8_t>> originals;
+  ExternalSorter sorter(opts);
+  for (size_t i = 0; i < c.count; ++i) {
+    std::vector<uint8_t> rec(c.record_bytes);
+    for (auto& b : rec) b = static_cast<uint8_t>(rng.UniformInt(256));
+    originals.push_back(rec);
+    ASSERT_OK(sorter.Add(rec.data()));
+  }
+
+  std::unique_ptr<SortedRecordStream> stream;
+  ASSERT_OK(sorter.Finish(&stream));
+  ASSERT_EQ(stream->count(), c.count);
+
+  std::vector<std::vector<uint8_t>> output;
+  std::vector<uint8_t> rec(c.record_bytes);
+  Status st;
+  while (stream->Next(rec.data(), &st)) {
+    ASSERT_OK(st);
+    output.push_back(rec);
+  }
+  ASSERT_OK(st);
+  ASSERT_EQ(output.size(), c.count);
+
+  // Sorted by key prefix.
+  for (size_t i = 0; i + 1 < output.size(); ++i) {
+    EXPECT_LE(std::memcmp(output[i].data(), output[i + 1].data(), c.key_bytes),
+              0)
+        << "output not sorted at position " << i;
+  }
+  // Permutation: same multiset of full records.
+  auto full_less = [&](const std::vector<uint8_t>& a,
+                       const std::vector<uint8_t>& b) {
+    return std::memcmp(a.data(), b.data(), c.record_bytes) < 0;
+  };
+  std::sort(originals.begin(), originals.end(), full_less);
+  std::vector<std::vector<uint8_t>> sorted_output = output;
+  std::sort(sorted_output.begin(), sorted_output.end(), full_less);
+  EXPECT_EQ(originals, sorted_output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ExternalSortTest,
+    ::testing::Values(
+        // All in memory: no spills.
+        SortCase{40, 32, 1000, 4 << 20, 64},
+        // Tiny budget relative to data: many runs, single merge pass.
+        SortCase{40, 32, 5000, 1 << 20, 64},
+        // Force multi-pass merging with a tiny fan-in.
+        SortCase{40, 32, 5000, 1 << 20, 2},
+        // Large materialized-style records (key + 1 KiB payload).
+        SortCase{1064, 32, 800, 1 << 20, 64},
+        // Key equals whole record.
+        SortCase{16, 16, 3000, 1 << 20, 64},
+        // Single record.
+        SortCase{40, 32, 1, 2 << 20, 64}));
+
+TEST(ExternalSort, EmptyInputYieldsEmptyStream) {
+  ScratchDir dir;
+  ExternalSortOptions opts;
+  opts.record_bytes = 40;
+  opts.key_bytes = 32;
+  opts.memory_budget_bytes = 2 << 20;
+  opts.tmp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  std::unique_ptr<SortedRecordStream> stream;
+  ASSERT_OK(sorter.Finish(&stream));
+  EXPECT_EQ(stream->count(), 0u);
+  uint8_t rec[40];
+  Status st;
+  EXPECT_FALSE(stream->Next(rec, &st));
+  ASSERT_OK(st);
+}
+
+TEST(ExternalSort, SpillsWhenBudgetExceeded) {
+  ScratchDir dir;
+  ExternalSortOptions opts;
+  opts.record_bytes = 1024;
+  opts.key_bytes = 8;
+  opts.memory_budget_bytes = 1 << 20;  // 1 MiB: holds ~512 records per half
+  opts.tmp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  Rng rng(1);
+  std::vector<uint8_t> rec(opts.record_bytes);
+  for (int i = 0; i < 2000; ++i) {
+    for (auto& b : rec) b = static_cast<uint8_t>(rng.UniformInt(256));
+    ASSERT_OK(sorter.Add(rec.data()));
+  }
+  EXPECT_GT(sorter.spilled_runs(), 1u);
+  std::unique_ptr<SortedRecordStream> stream;
+  ASSERT_OK(sorter.Finish(&stream));
+  EXPECT_EQ(stream->count(), 2000u);
+}
+
+TEST(ExternalSort, ValidatesOptions) {
+  ScratchDir dir;
+  ExternalSortOptions opts;
+  opts.record_bytes = 0;
+  opts.key_bytes = 0;
+  opts.tmp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  std::unique_ptr<SortedRecordStream> stream;
+  EXPECT_FALSE(sorter.Finish(&stream).ok());
+}
+
+TEST(ExternalSort, DuplicateKeysAllSurvive) {
+  ScratchDir dir;
+  ExternalSortOptions opts;
+  opts.record_bytes = 16;
+  opts.key_bytes = 8;
+  opts.memory_budget_bytes = 1 << 20;
+  opts.tmp_dir = dir.path();
+  ExternalSorter sorter(opts);
+  // 1000 records, only 4 distinct keys; payload disambiguates.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint8_t rec[16] = {};
+    const uint64_t key = i % 4;
+    std::memcpy(rec, &key, 8);
+    std::memcpy(rec + 8, &i, 8);
+    ASSERT_OK(sorter.Add(rec));
+  }
+  std::unique_ptr<SortedRecordStream> stream;
+  ASSERT_OK(sorter.Finish(&stream));
+  EXPECT_EQ(stream->count(), 1000u);
+  uint8_t rec[16];
+  Status st;
+  size_t n = 0;
+  uint64_t prev_key = 0;
+  std::vector<bool> seen(1000, false);
+  while (stream->Next(rec, &st)) {
+    ASSERT_OK(st);
+    uint64_t key, payload;
+    std::memcpy(&key, rec, 8);
+    std::memcpy(&payload, rec + 8, 8);
+    EXPECT_GE(key, prev_key);
+    prev_key = key;
+    ASSERT_LT(payload, 1000u);
+    EXPECT_FALSE(seen[payload]);
+    seen[payload] = true;
+    ++n;
+  }
+  EXPECT_EQ(n, 1000u);
+}
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,102 @@
+// R-tree / R-tree+ baseline: STR packing invariants and exact best-first NN
+// correctness.
+#include "src/baselines/rtree/rtree.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::BruteForceNn;
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+struct RtreeCase {
+  DatasetKind kind;
+  bool materialized;
+  size_t count;
+  size_t leaf_capacity;
+  size_t budget;
+};
+
+class RtreeTest : public ::testing::TestWithParam<RtreeCase> {
+ protected:
+  void Build(const RtreeCase& c) {
+    raw_ = dir_.File("data.bin");
+    data_ = MakeDatasetFile(raw_, c.kind, c.count, 64, 101);
+    RtreeOptions opts;
+    opts.summary.series_length = 64;
+    opts.summary.segments = 8;
+    opts.leaf_capacity = c.leaf_capacity;
+    opts.materialized = c.materialized;
+    opts.memory_budget_bytes = c.budget;
+    opts.tmp_dir = dir_.path();
+    ASSERT_OK(
+        RTree::Build(raw_, dir_.File("rtree.pages"), opts, &tree_, &stats_));
+  }
+
+  ScratchDir dir_;
+  std::string raw_;
+  std::vector<Series> data_;
+  std::unique_ptr<RTree> tree_;
+  RtreeBuildStats stats_;
+};
+
+TEST_P(RtreeTest, ExactSearchEqualsBruteForce) {
+  Build(GetParam());
+  auto qgen = MakeGenerator(GetParam().kind, 64, 800);
+  for (int q = 0; q < 15; ++q) {
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data_, query);
+    SearchResult res;
+    ASSERT_OK(tree_->ExactSearch(query.data(), &res));
+    EXPECT_NEAR(res.distance, bf_dist, 1e-4) << "query " << q;
+  }
+}
+
+TEST_P(RtreeTest, StrPacksLeavesDensely) {
+  Build(GetParam());
+  // STR packs every leaf full except possibly the boundary leaves of slabs.
+  EXPECT_GE(tree_->AvgLeafFill(), 0.5);
+  EXPECT_EQ(tree_->num_entries(), GetParam().count);
+  EXPECT_GE(stats_.sort_passes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, RtreeTest,
+    ::testing::Values(
+        RtreeCase{DatasetKind::kRandomWalk, false, 2000, 100, 64 << 20},
+        RtreeCase{DatasetKind::kRandomWalk, true, 2000, 100, 64 << 20},
+        // Tiny budget: every STR level spills through the external sorter.
+        RtreeCase{DatasetKind::kRandomWalk, false, 3000, 50, 1 << 20},
+        RtreeCase{DatasetKind::kSeismic, false, 1500, 64, 64 << 20},
+        // Single-leaf edge case.
+        RtreeCase{DatasetKind::kRandomWalk, false, 80, 100, 64 << 20}),
+    [](const auto& info) {
+      const RtreeCase& c = info.param;
+      return std::string(DatasetKindName(c.kind)) +
+             (c.materialized ? "_mat_" : "_plus_") + std::to_string(c.count) +
+             "_leaf" + std::to_string(c.leaf_capacity) + "_buf" +
+             std::to_string(c.budget >> 20) + "m";
+    });
+
+TEST(RtreeStr, MoreDimensionsMoreSortPasses) {
+  // STR re-sorts per dimension level: more data -> deeper recursion ->
+  // more passes, the O(N * D) construction the paper criticizes.
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  MakeDatasetFile(raw, DatasetKind::kRandomWalk, 4000, 64, 102);
+  RtreeOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 8;
+  opts.leaf_capacity = 50;
+  opts.tmp_dir = dir.path();
+  std::unique_ptr<RTree> tree;
+  RtreeBuildStats stats;
+  ASSERT_OK(RTree::Build(raw, dir.File("r.pages"), opts, &tree, &stats));
+  EXPECT_GT(stats.sort_passes, 3u);
+}
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,194 @@
+// Series substrate: z-normalization, distances (early abandoning), the
+// dataset generators (statistical shape), and dataset file round-trips.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/common/random.h"
+#include "src/series/distance.h"
+#include "src/series/znorm.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+TEST(ZNorm, ProducesZeroMeanUnitVariance) {
+  Rng rng(1);
+  std::vector<Value> v(256);
+  for (auto& x : v) x = static_cast<Value>(5.0 + 3.0 * rng.Gaussian());
+  ZNormalize(v.data(), v.size());
+  EXPECT_NEAR(Mean(v.data(), v.size()), 0.0, 1e-5);
+  EXPECT_NEAR(StdDev(v.data(), v.size()), 1.0, 1e-4);
+}
+
+TEST(ZNorm, ConstantSeriesBecomesZeros) {
+  std::vector<Value> v(64, 42.0f);
+  ZNormalize(v.data(), v.size());
+  for (Value x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Distance, MatchesManualComputation) {
+  const std::vector<Value> a = {1, 2, 3};
+  const std::vector<Value> b = {4, 0, 3};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a.data(), b.data(), 3), 9.0 + 4.0 + 0.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a.data(), b.data(), 3), std::sqrt(13.0));
+}
+
+TEST(Distance, EarlyAbandonNeverUnderestimatesDecision) {
+  // Early abandoning may return a partial sum, but only when that partial
+  // already proves the distance exceeds the bound.
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> a(128), b(128);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<Value>(rng.Gaussian());
+      b[i] = static_cast<Value>(rng.Gaussian());
+    }
+    const double full = SquaredEuclidean(a.data(), b.data(), 128);
+    const double bound = full * rng.Uniform() * 2;  // below or above
+    const double got =
+        SquaredEuclideanEarlyAbandon(a.data(), b.data(), 128, bound);
+    if (got < bound) {
+      EXPECT_NEAR(got, full, 1e-9) << "non-abandoned result must be exact";
+    } else {
+      EXPECT_LE(got, full + 1e-9) << "partial sums cannot exceed the total";
+    }
+  }
+}
+
+class GeneratorShapeTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorShapeTest, OutputIsZNormalized) {
+  auto gen = MakeGenerator(GetParam(), 256, 17);
+  for (int i = 0; i < 20; ++i) {
+    Series s = gen->NextSeries();
+    EXPECT_NEAR(Mean(s.data(), s.size()), 0.0, 1e-4);
+    EXPECT_NEAR(StdDev(s.data(), s.size()), 1.0, 1e-3);
+  }
+}
+
+TEST_P(GeneratorShapeTest, DeterministicForSameSeed) {
+  auto g1 = MakeGenerator(GetParam(), 128, 99);
+  auto g2 = MakeGenerator(GetParam(), 128, 99);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(g1->NextSeries(), g2->NextSeries());
+  }
+}
+
+TEST_P(GeneratorShapeTest, DifferentSeedsDiffer) {
+  auto g1 = MakeGenerator(GetParam(), 128, 1);
+  auto g2 = MakeGenerator(GetParam(), 128, 2);
+  EXPECT_NE(g1->NextSeries(), g2->NextSeries());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorShapeTest,
+                         ::testing::Values(DatasetKind::kRandomWalk,
+                                           DatasetKind::kSeismic,
+                                           DatasetKind::kAstronomy),
+                         [](const auto& info) {
+                           return DatasetKindName(info.param);
+                         });
+
+TEST(Generators, SlidingWindowsOverlap) {
+  // Consecutive seismic windows slide by 4 samples, so they should be far
+  // more similar to each other than to a distant window.
+  SeismicGenerator gen(128, 5, /*window_step=*/4);
+  Series a = gen.NextSeries();
+  Series b = gen.NextSeries();
+  Series far;
+  for (int i = 0; i < 200; ++i) far = gen.NextSeries();
+  const double near_d = SquaredEuclidean(a.data(), b.data(), 128);
+  const double far_d = SquaredEuclidean(a.data(), far.data(), 128);
+  EXPECT_LT(near_d, far_d);
+}
+
+TEST(Generators, AstronomySkewIsPositive) {
+  auto gen = MakeGenerator(DatasetKind::kAstronomy, 256, 23);
+  double sum3 = 0.0;
+  size_t n = 0;
+  for (int i = 0; i < 200; ++i) {
+    Series s = gen->NextSeries();
+    for (Value v : s) {
+      sum3 += static_cast<double>(v) * v * v;
+      ++n;
+    }
+  }
+  // Values are z-normalized per series, so the third moment estimates
+  // skewness. The paper's astronomy dataset is "slightly skewed".
+  EXPECT_GT(sum3 / n, 0.05);
+}
+
+TEST(Dataset, WriteScanReadRoundTrip) {
+  ScratchDir dir;
+  const std::string path = dir.File("data.bin");
+  auto data = MakeDatasetFile(path, DatasetKind::kRandomWalk, 100, 64, 3);
+
+  // Sequential scan sees the same series in order.
+  DatasetScanner scanner;
+  ASSERT_OK(scanner.Open(path, 64));
+  EXPECT_EQ(scanner.count(), 100u);
+  Series s(64);
+  Status st;
+  size_t i = 0;
+  while (scanner.Next(s.data(), &st)) {
+    ASSERT_OK(st);
+    EXPECT_EQ(s, data[i]) << "series " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, 100u);
+
+  // Random access by index and by byte offset agree.
+  std::unique_ptr<RawSeriesFile> raw;
+  ASSERT_OK(RawSeriesFile::Open(path, 64, &raw));
+  EXPECT_EQ(raw->count(), 100u);
+  Series out(64);
+  ASSERT_OK(raw->ReadIndex(42, out.data()));
+  EXPECT_EQ(out, data[42]);
+  ASSERT_OK(raw->ReadAt(42 * 64 * sizeof(Value), out.data()));
+  EXPECT_EQ(out, data[42]);
+}
+
+TEST(Dataset, RejectsMisalignedFile) {
+  ScratchDir dir;
+  const std::string path = dir.File("bad.bin");
+  {
+    BufferedWriter w;
+    ASSERT_OK(w.Open(path));
+    std::vector<uint8_t> junk(100, 1);  // not a multiple of 64 * 4
+    ASSERT_OK(w.Write(junk.data(), junk.size()));
+    ASSERT_OK(w.Finish());
+  }
+  std::unique_ptr<RawSeriesFile> raw;
+  EXPECT_TRUE(RawSeriesFile::Open(path, 64, &raw).IsCorruption());
+}
+
+TEST(Dataset, ReadAtValidatesBounds) {
+  ScratchDir dir;
+  const std::string path = dir.File("data.bin");
+  MakeDatasetFile(path, DatasetKind::kRandomWalk, 10, 64, 4);
+  std::unique_ptr<RawSeriesFile> raw;
+  ASSERT_OK(RawSeriesFile::Open(path, 64, &raw));
+  Series out(64);
+  EXPECT_FALSE(raw->ReadAt(3, out.data()).ok());  // misaligned
+  EXPECT_FALSE(raw->ReadAt(10 * 64 * sizeof(Value), out.data()).ok());
+}
+
+TEST(Dataset, AppendGrowsFile) {
+  ScratchDir dir;
+  const std::string path = dir.File("data.bin");
+  auto data = MakeDatasetFile(path, DatasetKind::kRandomWalk, 10, 64, 5);
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 6);
+  std::vector<Series> batch = {gen->NextSeries(), gen->NextSeries()};
+  ASSERT_OK(AppendToDataset(path, batch));
+  std::unique_ptr<RawSeriesFile> raw;
+  ASSERT_OK(RawSeriesFile::Open(path, 64, &raw));
+  EXPECT_EQ(raw->count(), 12u);
+  Series out(64);
+  ASSERT_OK(raw->ReadIndex(11, out.data()));
+  EXPECT_EQ(out, batch[1]);
+}
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,11 @@
+// Build-system smoke test; real suites live in the per-module *_test.cc files.
+#include "gtest/gtest.h"
+#include "src/common/status.h"
+
+namespace coconut {
+namespace {
+
+TEST(Smoke, StatusOk) { EXPECT_TRUE(Status::OK().ok()); }
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,167 @@
+// DHWT + Vertical baseline: orthonormality (Parseval), progressive lower
+// bounds, stepwise construction, and exact search correctness.
+#include "src/baselines/vertical/vertical_index.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "src/series/distance.h"
+#include "src/summary/dhwt.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::BruteForceNn;
+using testing::MakeDatasetFile;
+using testing::ScratchDir;
+
+TEST(Dhwt, RoundTripsRandomSeries) {
+  Rng rng(1);
+  for (size_t n : {2, 8, 64, 256}) {
+    std::vector<Value> series(n);
+    for (auto& v : series) v = static_cast<Value>(rng.Gaussian());
+    std::vector<double> coeffs(n), back(n);
+    ASSERT_OK(DhwtTransform(series.data(), n, coeffs.data()));
+    ASSERT_OK(DhwtInverse(coeffs.data(), n, back.data()));
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i], series[i], 1e-5) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Dhwt, RejectsNonPowerOfTwo) {
+  std::vector<Value> series(100, 0.0f);
+  std::vector<double> coeffs(100);
+  EXPECT_FALSE(DhwtTransform(series.data(), 100, coeffs.data()).ok());
+}
+
+TEST(Dhwt, ParsevalDistancePreservation) {
+  Rng rng(2);
+  const size_t n = 128;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Value> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<Value>(rng.Gaussian());
+      b[i] = static_cast<Value>(rng.Gaussian());
+    }
+    std::vector<double> ca(n), cb(n);
+    ASSERT_OK(DhwtTransform(a.data(), n, ca.data()));
+    ASSERT_OK(DhwtTransform(b.data(), n, cb.data()));
+    double coeff_dist = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      coeff_dist += (ca[i] - cb[i]) * (ca[i] - cb[i]);
+    }
+    EXPECT_NEAR(coeff_dist, SquaredEuclidean(a.data(), b.data(), n), 1e-4);
+  }
+}
+
+TEST(Dhwt, PrefixPartialSumsLowerBound) {
+  // Any coefficient prefix gives a monotone lower bound of the full
+  // distance — the property the Vertical scan relies on for pruning.
+  Rng rng(3);
+  const size_t n = 64;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Value> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<Value>(rng.Gaussian());
+      b[i] = static_cast<Value>(rng.Gaussian());
+    }
+    std::vector<double> ca(n), cb(n);
+    ASSERT_OK(DhwtTransform(a.data(), n, ca.data()));
+    ASSERT_OK(DhwtTransform(b.data(), n, cb.data()));
+    const double full = SquaredEuclidean(a.data(), b.data(), n);
+    double partial = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      partial += (ca[i] - cb[i]) * (ca[i] - cb[i]);
+      EXPECT_LE(partial, full + 1e-4);
+    }
+  }
+}
+
+TEST(Dhwt, LevelRangesTileCoefficients) {
+  const size_t n = 256;
+  const size_t levels = DhwtLevels(n);
+  EXPECT_EQ(levels, 9u);
+  size_t covered = 0;
+  for (size_t level = 0; level < levels; ++level) {
+    size_t begin, end;
+    DhwtLevelRange(level, &begin, &end);
+    EXPECT_EQ(begin, covered);
+    covered = end;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+class VerticalTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(VerticalTest, ExactSearchEqualsBruteForce) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  auto data = MakeDatasetFile(raw, GetParam(), 1500, 64, 111);
+  VerticalOptions opts;
+  opts.series_length = 64;
+  opts.verify_threshold = 32;
+  std::unique_ptr<VerticalIndex> index;
+  VerticalBuildStats stats;
+  ASSERT_OK(
+      VerticalIndex::Build(raw, dir.File("vertical"), opts, &index, &stats));
+  EXPECT_EQ(stats.passes, DhwtLevels(64));
+  auto qgen = MakeGenerator(GetParam(), 64, 900);
+  for (int q = 0; q < 15; ++q) {
+    const Series query = qgen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data, query);
+    SearchResult res;
+    ASSERT_OK(index->ExactSearch(query.data(), &res));
+    EXPECT_NEAR(res.distance, bf_dist, 1e-4) << "query " << q;
+    // Pruning must have some effect: not every series gets verified.
+    EXPECT_LT(res.visited_records, data.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, VerticalTest,
+                         ::testing::Values(DatasetKind::kRandomWalk,
+                                           DatasetKind::kSeismic,
+                                           DatasetKind::kAstronomy),
+                         [](const auto& info) {
+                           return DatasetKindName(info.param);
+                         });
+
+TEST(Vertical, ApproxIsUpperBoundOfExact) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  auto data = MakeDatasetFile(raw, DatasetKind::kRandomWalk, 1000, 64, 112);
+  VerticalOptions opts;
+  opts.series_length = 64;
+  std::unique_ptr<VerticalIndex> index;
+  ASSERT_OK(VerticalIndex::Build(raw, dir.File("vertical"), opts, &index));
+  auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 901);
+  for (int q = 0; q < 8; ++q) {
+    const Series query = qgen->NextSeries();
+    SearchResult approx, exact;
+    ASSERT_OK(index->ApproxSearch(query.data(), &approx));
+    ASSERT_OK(index->ExactSearch(query.data(), &exact));
+    EXPECT_GE(approx.distance + 1e-6, exact.distance);
+  }
+}
+
+TEST(Vertical, StorageMatchesFullTransform) {
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  MakeDatasetFile(raw, DatasetKind::kRandomWalk, 500, 64, 113);
+  VerticalOptions opts;
+  opts.series_length = 64;
+  std::unique_ptr<VerticalIndex> index;
+  ASSERT_OK(VerticalIndex::Build(raw, dir.File("vertical"), opts, &index));
+  // Full orthonormal transform: coefficient storage == raw storage.
+  EXPECT_EQ(index->StorageBytes(), 500u * 64u * sizeof(float));
+}
+
+TEST(Vertical, RejectsNonPowerOfTwoLength) {
+  VerticalOptions opts;
+  opts.series_length = 100;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+}  // namespace
+}  // namespace coconut

@@ -1,0 +1,94 @@
+#include "src/common/zkey.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/random.h"
+
+namespace coconut {
+namespace {
+
+TEST(ZKey, DefaultIsZeroAndMinimal) {
+  ZKey k;
+  EXPECT_EQ(k, ZKey());
+  EXPECT_TRUE(k <= ZKey::Max());
+  for (size_t i = 0; i < ZKey::kBits; ++i) EXPECT_EQ(k.GetBit(i), 0u);
+}
+
+TEST(ZKey, SetAndGetBits) {
+  ZKey k;
+  k.SetBit(0);
+  EXPECT_EQ(k.GetBit(0), 1u);
+  EXPECT_EQ(k.words()[0], uint64_t{1} << 63);
+  k.SetBit(255);
+  EXPECT_EQ(k.GetBit(255), 1u);
+  EXPECT_EQ(k.words()[3], uint64_t{1});
+  k.ClearBit(0);
+  EXPECT_EQ(k.GetBit(0), 0u);
+}
+
+TEST(ZKey, MsbDominatesComparison) {
+  ZKey hi, lo;
+  hi.SetBit(0);           // only the most significant bit
+  for (size_t i = 1; i < ZKey::kBits; ++i) lo.SetBit(i);  // all other bits
+  EXPECT_TRUE(lo < hi);
+}
+
+TEST(ZKey, SerializeRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    ZKey k;
+    for (size_t i = 0; i < ZKey::kBits; ++i) {
+      if (rng.Uniform() < 0.5) k.SetBit(i);
+    }
+    uint8_t buf[ZKey::kBytes];
+    k.SerializeBE(buf);
+    EXPECT_EQ(ZKey::DeserializeBE(buf), k);
+  }
+}
+
+TEST(ZKey, MemcmpOrderMatchesOperatorOrder) {
+  Rng rng(13);
+  std::vector<ZKey> keys;
+  for (int i = 0; i < 200; ++i) {
+    ZKey k;
+    for (size_t b = 0; b < ZKey::kBits; ++b) {
+      if (rng.Uniform() < 0.3) k.SetBit(b);
+    }
+    keys.push_back(k);
+  }
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    uint8_t a[ZKey::kBytes], b[ZKey::kBytes];
+    keys[i].SerializeBE(a);
+    keys[i + 1].SerializeBE(b);
+    const int cmp = std::memcmp(a, b, ZKey::kBytes);
+    if (keys[i] < keys[i + 1]) {
+      EXPECT_LT(cmp, 0);
+    } else if (keys[i + 1] < keys[i]) {
+      EXPECT_GT(cmp, 0);
+    } else {
+      EXPECT_EQ(cmp, 0);
+    }
+  }
+}
+
+TEST(ZKey, CommonPrefixBits) {
+  ZKey a, b;
+  EXPECT_EQ(ZKey::CommonPrefixBits(a, b), ZKey::kBits);
+  b.SetBit(100);
+  EXPECT_EQ(ZKey::CommonPrefixBits(a, b), 100u);
+  a.SetBit(0);
+  EXPECT_EQ(ZKey::CommonPrefixBits(a, b), 0u);
+}
+
+TEST(ZKey, ToHexOfKnownPattern) {
+  ZKey k;
+  k.SetBit(4);  // 0x08 in the top byte
+  const std::string hex = k.ToHex();
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 2), "08");
+}
+
+}  // namespace
+}  // namespace coconut
