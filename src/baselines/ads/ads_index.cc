@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/common/timer.h"
+#include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/series/distance.h"
 #include "src/summary/paa.h"
@@ -79,7 +80,8 @@ Status AdsIndex::MaterializeLeaves() {
   return core_->MaterializeInto(raw_path_ + ".ads-mat");
 }
 
-Status AdsIndex::ApproxSearch(const Value* query, SearchResult* result) {
+Status AdsIndex::ApproxSearch(const Value* query, SearchResult* result,
+                              size_t k) {
   // ADS+ refines (splits) the leaf the query lands in before answering,
   // which is how leaf sizes shrink adaptively during query answering.
   if (options_.adaptive_leaf_target > 0 && !options_.materialized) {
@@ -88,14 +90,15 @@ Status AdsIndex::ApproxSearch(const Value* query, SearchResult* result) {
     COCONUT_RETURN_IF_ERROR(
         core_->RefineLeafFor(sax.data(), options_.adaptive_leaf_target));
   }
-  return core_->ApproxSearch(query, result);
+  return core_->ApproxSearch(query, result, k);
 }
 
-Status AdsIndex::ExactSearch(const Value* query, SearchResult* result) {
+Status AdsIndex::ExactSearch(const Value* query, SearchResult* result,
+                             size_t k) {
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx, k));
+  KnnCollector knn(k);
+  knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
   std::vector<double> paa(sum.segments);
@@ -115,20 +118,16 @@ Status AdsIndex::ExactSearch(const Value* query, SearchResult* result) {
   uint64_t visited = 0;
   fetch_buf_.resize(series_len);
   for (uint64_t i = 0; i < n; ++i) {
-    if (mindists[i] >= bsf_sq) continue;
+    if (mindists[i] >= knn.bound_sq()) continue;
     COCONUT_RETURN_IF_ERROR(
         raw_file_->ReadAt(i * series_bytes, fetch_buf_.data()));
     const double d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query,
-                                                  series_len, bsf_sq);
+                                                  series_len, knn.bound_sq());
     ++visited;
-    if (d < bsf_sq) {
-      bsf_sq = d;
-      best_offset = i * series_bytes;
-    }
+    knn.Offer(i * series_bytes, d);
   }
 
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read;
   return Status::OK();

@@ -65,12 +65,13 @@ class AdsIndex {
                       std::unique_ptr<AdsIndex>* out,
                       AdsBuildStats* stats = nullptr);
 
-  /// Approximate search; for ADS+ this first adaptively refines the target
-  /// leaf (split-on-access).
-  Status ApproxSearch(const Value* query, SearchResult* result);
+  /// Approximate k-NN search; for ADS+ this first adaptively refines the
+  /// target leaf (split-on-access).
+  Status ApproxSearch(const Value* query, SearchResult* result, size_t k = 1);
 
-  /// Exact search via SIMS over the in-memory SAX array (raw-file order).
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Exact k-NN search via SIMS over the in-memory SAX array (raw-file
+  /// order).
+  Status ExactSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   /// Top-down insertion of new series already appended to the raw file at
   /// `first_offset` (Fig 10a update workload).

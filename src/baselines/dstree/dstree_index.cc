@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/core/knn.h"
 #include "src/series/distance.h"
 
 namespace coconut {
@@ -363,8 +364,7 @@ Status DstreeIndex::SplitLeaf(int64_t id, std::vector<uint8_t> entries) {
 }
 
 Status DstreeIndex::LeafTrueDistances(const Node& node, const Value* query,
-                                      double* best_sq, uint64_t* best_offset,
-                                      uint64_t* visited,
+                                      KnnCollector* knn, uint64_t* visited,
                                       uint64_t* pages_read) {
   std::vector<uint8_t> entries;
   COCONUT_RETURN_IF_ERROR(ReadLeafEntries(node, &entries));
@@ -376,17 +376,18 @@ Status DstreeIndex::LeafTrueDistances(const Node& node, const Value* query,
   for (uint64_t i = 0; i < count; ++i) {
     const uint8_t* e = entries.data() + i * eb;
     const Value* series = reinterpret_cast<const Value*>(e + 8);
-    const double d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+    const double d =
+        SquaredEuclideanEarlyAbandon(series, query, n, knn->bound_sq());
     ++*visited;
-    if (d < *best_sq) {
-      *best_sq = d;
-      std::memcpy(best_offset, e, 8);
-    }
+    uint64_t offset;
+    std::memcpy(&offset, e, 8);
+    knn->Offer(offset, d);
   }
   return Status::OK();
 }
 
-Status DstreeIndex::ApproxSearch(const Value* query, SearchResult* result) {
+Status DstreeIndex::ApproxSearch(const Value* query, SearchResult* result,
+                                 size_t k) {
   if (num_entries_ == 0) return Status::NotFound("empty index");
   int64_t id = root_;
   while (!nodes_[id].is_leaf) {
@@ -395,24 +396,23 @@ Status DstreeIndex::ApproxSearch(const Value* query, SearchResult* result) {
         SegmentStat(query, n.route_begin, n.route_end, n.split_on_mean);
     id = n.children[v < n.threshold ? 0 : 1];
   }
-  double best_sq = std::numeric_limits<double>::infinity();
-  uint64_t best_offset = 0;
+  KnnCollector knn(k);
   uint64_t visited = 0;
   uint64_t pages = 0;
-  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, &best_sq,
-                                            &best_offset, &visited, &pages));
-  result->offset = best_offset;
-  result->distance = std::sqrt(best_sq);
+  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, &knn,
+                                            &visited, &pages));
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = pages;
   return Status::OK();
 }
 
-Status DstreeIndex::ExactSearch(const Value* query, SearchResult* result) {
+Status DstreeIndex::ExactSearch(const Value* query, SearchResult* result,
+                                size_t k) {
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx, k));
+  KnnCollector knn(k);
+  knn.Seed(approx);
   uint64_t visited = approx.visited_records;
   uint64_t pages = approx.leaves_read;
 
@@ -423,11 +423,10 @@ Status DstreeIndex::ExactSearch(const Value* query, SearchResult* result) {
   while (!pq.empty()) {
     const auto [lb, id] = pq.top();
     pq.pop();
-    if (lb >= bsf_sq) break;
+    if (lb >= knn.bound_sq()) break;
     const Node& n = nodes_[id];
     if (n.is_leaf) {
-      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, &bsf_sq,
-                                                &best_offset, &visited,
+      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, &knn, &visited,
                                                 &pages));
       continue;
     }
@@ -438,8 +437,7 @@ Status DstreeIndex::ExactSearch(const Value* query, SearchResult* result) {
       pq.push({EapcaLowerBoundSq(query_stats, c.env, c.seg), child});
     }
   }
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = pages;
   return Status::OK();

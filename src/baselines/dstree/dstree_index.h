@@ -32,6 +32,8 @@
 
 namespace coconut {
 
+class KnnCollector;
+
 struct DstreeOptions {
   size_t series_length = 256;
   /// Number of equal segments in the root segmentation.
@@ -67,11 +69,12 @@ class DstreeIndex {
 
   Status FlushAll();
 
-  /// Greedy descent by split rules; true distances over the target leaf.
-  Status ApproxSearch(const Value* query, SearchResult* result);
+  /// Greedy descent by split rules; true k-NN distances over the target
+  /// leaf.
+  Status ApproxSearch(const Value* query, SearchResult* result, size_t k = 1);
 
-  /// Best-first exact search over EAPCA lower bounds.
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Best-first exact k-NN search over EAPCA lower bounds.
+  Status ExactSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   uint64_t num_entries() const { return num_entries_; }
   uint64_t num_leaves() const { return num_leaves_; }
@@ -112,8 +115,8 @@ class DstreeIndex {
   Status WriteLeafEntries(Node* node, const std::vector<uint8_t>& entries);
   Status SplitLeaf(int64_t id, std::vector<uint8_t> entries);
   Status LeafTrueDistances(const Node& node, const Value* query,
-                           double* best_sq, uint64_t* best_offset,
-                           uint64_t* visited, uint64_t* pages_read);
+                           KnnCollector* knn, uint64_t* visited,
+                           uint64_t* pages_read);
   int64_t AllocNode();
 
   DstreeOptions options_;

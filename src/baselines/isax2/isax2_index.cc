@@ -6,6 +6,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/core/knn.h"
 #include "src/series/distance.h"
 #include "src/summary/mindist.h"
 #include "src/summary/paa.h"
@@ -333,8 +334,7 @@ Status Isax2Index::RefineLeafFor(const uint8_t* sax, size_t target) {
 }
 
 Status Isax2Index::LeafTrueDistances(const Node& node, const Value* query,
-                                     const double* query_paa, double* best_sq,
-                                     uint64_t* best_offset, uint64_t* visited,
+                                     KnnCollector* knn, uint64_t* visited,
                                      uint64_t* pages_read) {
   std::vector<uint8_t> entries;
   COCONUT_RETURN_IF_ERROR(ReadLeafEntries(node, &entries));
@@ -345,27 +345,26 @@ Status Isax2Index::LeafTrueDistances(const Node& node, const Value* query,
   const uint64_t count = entries.size() / entry_bytes_;
   for (uint64_t i = 0; i < count; ++i) {
     const uint8_t* e = entries.data() + i * entry_bytes_;
+    uint64_t offset;
+    std::memcpy(&offset, e + w, 8);
     double d;
     if (options_.materialized) {
       const Value* series = reinterpret_cast<const Value*>(e + w + 8);
-      d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+      d = SquaredEuclideanEarlyAbandon(series, query, n, knn->bound_sq());
     } else {
-      uint64_t offset;
-      std::memcpy(&offset, e + w, 8);
       fetch_buf_.resize(n);
       COCONUT_RETURN_IF_ERROR(raw_file_->ReadAt(offset, fetch_buf_.data()));
-      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, *best_sq);
+      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                                       knn->bound_sq());
     }
     ++*visited;
-    if (d < *best_sq) {
-      *best_sq = d;
-      std::memcpy(best_offset, e + w, 8);
-    }
+    knn->Offer(offset, d);
   }
   return Status::OK();
 }
 
-Status Isax2Index::ApproxSearch(const Value* query, SearchResult* result) {
+Status Isax2Index::ApproxSearch(const Value* query, SearchResult* result,
+                                size_t k) {
   if (root_children_.empty()) return Status::NotFound("empty index");
   const SummaryOptions& sum = options_.summary;
   std::vector<double> paa(sum.segments);
@@ -404,25 +403,23 @@ Status Isax2Index::ApproxSearch(const Value* query, SearchResult* result) {
     id = n.children[bit];
   }
 
-  double best_sq = std::numeric_limits<double>::infinity();
-  uint64_t best_offset = 0;
+  KnnCollector knn(k);
   uint64_t visited = 0;
   uint64_t pages = 0;
-  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, paa.data(),
-                                            &best_sq, &best_offset, &visited,
-                                            &pages));
-  result->offset = best_offset;
-  result->distance = std::sqrt(best_sq);
+  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(nodes_[id], query, &knn,
+                                            &visited, &pages));
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = pages;
   return Status::OK();
 }
 
-Status Isax2Index::ExactSearch(const Value* query, SearchResult* result) {
+Status Isax2Index::ExactSearch(const Value* query, SearchResult* result,
+                               size_t k) {
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx, k));
+  KnnCollector knn(k);
+  knn.Seed(approx);
   uint64_t visited = approx.visited_records;
   uint64_t pages = approx.leaves_read;
 
@@ -441,11 +438,10 @@ Status Isax2Index::ExactSearch(const Value* query, SearchResult* result) {
   while (!pq.empty()) {
     const auto [lb, id] = pq.top();
     pq.pop();
-    if (lb >= bsf_sq) break;  // everything else is pruned
+    if (lb >= knn.bound_sq()) break;  // everything else is pruned
     const Node& n = nodes_[id];
     if (n.is_leaf) {
-      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, paa.data(), &bsf_sq,
-                                                &best_offset, &visited,
+      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(n, query, &knn, &visited,
                                                 &pages));
     } else {
       for (int64_t child : n.children) {
@@ -456,8 +452,7 @@ Status Isax2Index::ExactSearch(const Value* query, SearchResult* result) {
       }
     }
   }
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = pages;
   return Status::OK();

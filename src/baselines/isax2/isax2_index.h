@@ -28,6 +28,8 @@
 
 namespace coconut {
 
+class KnnCollector;
+
 struct Isax2Options {
   SummaryOptions summary;
   size_t leaf_capacity = 2000;
@@ -74,13 +76,13 @@ class Isax2Index {
   /// memory budget is exceeded, and lazily before queries).
   Status FlushAll();
 
-  /// Approximate search: descends to the most promising leaf and computes
-  /// true distances over its entries.
-  Status ApproxSearch(const Value* query, SearchResult* result);
+  /// Approximate k-NN search: descends to the most promising leaf and
+  /// computes true distances over its entries.
+  Status ApproxSearch(const Value* query, SearchResult* result, size_t k = 1);
 
-  /// Exact search: best-first traversal ordered by per-node iSAX MINDIST
-  /// lower bounds, seeded by the approximate answer.
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Exact k-NN search: best-first traversal ordered by per-node iSAX
+  /// MINDIST lower bounds, seeded by the approximate answers.
+  Status ExactSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   /// Splits the leaf containing `sax` until every piece holds at most
   /// `target` entries (ADS+ on-access refinement). No-op on small leaves.
@@ -143,8 +145,7 @@ class Isax2Index {
                          const std::vector<uint8_t>& entries) const;
   int64_t AllocNode();
   Status LeafTrueDistances(const Node& node, const Value* query,
-                           const double* query_paa, double* best_sq,
-                           uint64_t* best_offset, uint64_t* visited,
+                           KnnCollector* knn, uint64_t* visited,
                            uint64_t* pages_read);
 
   Isax2Options options_;

@@ -9,6 +9,7 @@
 #include "src/common/env.h"
 #include "src/common/timer.h"
 #include "src/io/buffered_io.h"
+#include "src/core/knn.h"
 #include "src/series/distance.h"
 #include "src/sort/external_sort.h"
 #include "src/summary/mindist.h"
@@ -290,8 +291,7 @@ Status RTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page) {
 }
 
 Status RTree::LeafTrueDistances(uint64_t leaf, const Value* query,
-                                double* best_sq, uint64_t* best_offset,
-                                uint64_t* visited) {
+                                KnnCollector* knn, uint64_t* visited) {
   std::vector<uint8_t> page;
   COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page));
   const size_t w = options_.summary.segments;
@@ -303,22 +303,21 @@ Status RTree::LeafTrueDistances(uint64_t leaf, const Value* query,
     double d;
     if (options_.materialized) {
       const Value* series = reinterpret_cast<const Value*>(e + w * 4 + 8);
-      d = SquaredEuclideanEarlyAbandon(series, query, n, *best_sq);
+      d = SquaredEuclideanEarlyAbandon(series, query, n, knn->bound_sq());
     } else {
       fetch_buf_.resize(n);
       COCONUT_RETURN_IF_ERROR(raw_file_->ReadAt(offset, fetch_buf_.data()));
-      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, *best_sq);
+      d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                                       knn->bound_sq());
     }
     ++*visited;
-    if (d < *best_sq) {
-      *best_sq = d;
-      *best_offset = offset;
-    }
+    knn->Offer(offset, d);
   }
   return Status::OK();
 }
 
-Status RTree::ApproxSearch(const Value* query, SearchResult* result) {
+Status RTree::ApproxSearch(const Value* query, SearchResult* result,
+                           size_t k) {
   const SummaryOptions& sum = options_.summary;
   std::vector<double> paa(sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, paa.data());
@@ -346,23 +345,21 @@ Status RTree::ApproxSearch(const Value* query, SearchResult* result) {
     id = static_cast<int64_t>(best_child);
   }
 
-  double best_sq = std::numeric_limits<double>::infinity();
-  uint64_t best_offset = 0;
+  KnnCollector knn(k);
   uint64_t visited = 0;
-  COCONUT_RETURN_IF_ERROR(
-      LeafTrueDistances(leaf, query, &best_sq, &best_offset, &visited));
-  result->offset = best_offset;
-  result->distance = std::sqrt(best_sq);
+  COCONUT_RETURN_IF_ERROR(LeafTrueDistances(leaf, query, &knn, &visited));
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = 1;
   return Status::OK();
 }
 
-Status RTree::ExactSearch(const Value* query, SearchResult* result) {
+Status RTree::ExactSearch(const Value* query, SearchResult* result,
+                          size_t k) {
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, &approx, k));
+  KnnCollector knn(k);
+  knn.Seed(approx);
   uint64_t visited = approx.visited_records;
   uint64_t leaves_read = approx.leaves_read;
 
@@ -377,10 +374,9 @@ Status RTree::ExactSearch(const Value* query, SearchResult* result) {
   while (!pq.empty()) {
     const auto [lb, is_leaf, id] = pq.top();
     pq.pop();
-    if (lb >= bsf_sq) break;
+    if (lb >= knn.bound_sq()) break;
     if (is_leaf) {
-      COCONUT_RETURN_IF_ERROR(
-          LeafTrueDistances(id, query, &bsf_sq, &best_offset, &visited));
+      COCONUT_RETURN_IF_ERROR(LeafTrueDistances(id, query, &knn, &visited));
       ++leaves_read;
       continue;
     }
@@ -392,8 +388,7 @@ Status RTree::ExactSearch(const Value* query, SearchResult* result) {
                node.children_are_leaves, child});
     }
   }
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = leaves_read;
   return Status::OK();

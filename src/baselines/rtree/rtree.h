@@ -31,6 +31,8 @@
 
 namespace coconut {
 
+class KnnCollector;
+
 struct RtreeOptions {
   SummaryOptions summary;
   size_t leaf_capacity = 2000;
@@ -70,12 +72,12 @@ class RTree {
                       const RtreeOptions& options, std::unique_ptr<RTree>* out,
                       RtreeBuildStats* stats = nullptr);
 
-  /// Greedy root-to-leaf descent to the most promising leaf; true distances
-  /// over its entries.
-  Status ApproxSearch(const Value* query, SearchResult* result);
+  /// Greedy root-to-leaf descent to the most promising leaf; true k-NN
+  /// distances over its entries.
+  Status ApproxSearch(const Value* query, SearchResult* result, size_t k = 1);
 
-  /// Best-first exact nearest neighbor.
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Best-first exact k nearest neighbors.
+  Status ExactSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   uint64_t num_entries() const { return num_entries_; }
   uint64_t num_leaves() const { return leaves_.size(); }
@@ -103,8 +105,8 @@ class RTree {
   };
 
   Status ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page);
-  Status LeafTrueDistances(uint64_t leaf, const Value* query, double* best_sq,
-                           uint64_t* best_offset, uint64_t* visited);
+  Status LeafTrueDistances(uint64_t leaf, const Value* query,
+                           KnnCollector* knn, uint64_t* visited);
 
   RtreeOptions options_;
   size_t entry_bytes_ = 0;

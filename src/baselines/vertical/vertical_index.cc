@@ -1,11 +1,13 @@
 #include "src/baselines/vertical/vertical_index.h"
 
 #include <algorithm>
+#include <numeric>
 #include <cmath>
 #include <cstring>
 #include <limits>
 
 #include "src/common/env.h"
+#include "src/core/knn.h"
 #include "src/common/timer.h"
 #include "src/io/buffered_io.h"
 #include "src/series/distance.h"
@@ -83,8 +85,7 @@ Status VerticalIndex::Build(const std::string& raw_path,
 
 Status VerticalIndex::FilterLevels(const Value* query,
                                    const std::vector<double>& query_coeffs,
-                                   size_t max_level, double* bsf_sq,
-                                   uint64_t* bsf_offset,
+                                   size_t max_level, KnnCollector* knn,
                                    std::vector<double>* partial,
                                    std::vector<bool>* alive,
                                    uint64_t* visited) {
@@ -112,31 +113,32 @@ Status VerticalIndex::FilterLevels(const Value* query,
       }
       (*partial)[i] = p;
       // Slack absorbs float32 rounding of the stored coefficients, so the
-      // partial sums remain safe lower bounds of the true distance.
-      if (p > *bsf_sq * (1.0 + 1e-6) + 1e-9) {
+      // partial sums remain safe lower bounds of the true distance. The
+      // pruning bound is the k-th best distance so far (+inf until k
+      // candidates have been verified).
+      if (p > knn->bound_sq() * (1.0 + 1e-6) + 1e-9) {
         (*alive)[i] = false;
         --alive_count;
       }
     }
     if (level == 0) {
-      // Seed the best-so-far with the most promising candidate so deeper
-      // levels can prune.
-      uint64_t argmin = 0;
-      double best = std::numeric_limits<double>::infinity();
-      for (uint64_t i = 0; i < count_; ++i) {
-        if ((*partial)[i] < best) {
-          best = (*partial)[i];
-          argmin = i;
-        }
-      }
+      // Seed the best-so-far set with the k most promising candidates so
+      // deeper levels can prune (the heap must hold k entries before
+      // bound_sq() becomes finite).
+      std::vector<uint64_t> order(count_);
+      std::iota(order.begin(), order.end(), uint64_t{0});
+      const size_t seed = std::min<size_t>(knn->k(), order.size());
+      std::partial_sort(order.begin(), order.begin() + seed, order.end(),
+                        [&](uint64_t a, uint64_t b) {
+                          return (*partial)[a] < (*partial)[b];
+                        });
       fetch_buf_.resize(n);
-      COCONUT_RETURN_IF_ERROR(
-          raw_file_->ReadAt(argmin * series_bytes, fetch_buf_.data()));
-      const double d = SquaredEuclidean(fetch_buf_.data(), query, n);
-      ++*visited;
-      if (d < *bsf_sq) {
-        *bsf_sq = d;
-        *bsf_offset = argmin * series_bytes;
+      for (size_t j = 0; j < seed; ++j) {
+        COCONUT_RETURN_IF_ERROR(
+            raw_file_->ReadAt(order[j] * series_bytes, fetch_buf_.data()));
+        const double d = SquaredEuclidean(fetch_buf_.data(), query, n);
+        ++*visited;
+        knn->Offer(order[j] * series_bytes, d);
       }
     }
     if (alive_count <= options_.verify_threshold) break;
@@ -144,20 +146,19 @@ Status VerticalIndex::FilterLevels(const Value* query,
   return Status::OK();
 }
 
-Status VerticalIndex::ExactSearch(const Value* query, SearchResult* result) {
+Status VerticalIndex::ExactSearch(const Value* query, SearchResult* result,
+                                  size_t k) {
   const size_t n = options_.series_length;
   const uint64_t series_bytes = n * sizeof(Value);
   std::vector<double> query_coeffs(n);
   COCONUT_RETURN_IF_ERROR(DhwtTransform(query, n, query_coeffs.data()));
 
-  double bsf_sq = std::numeric_limits<double>::infinity();
-  uint64_t bsf_offset = 0;
+  KnnCollector knn(k);
   std::vector<double> partial;
   std::vector<bool> alive;
   uint64_t visited = 0;
-  COCONUT_RETURN_IF_ERROR(FilterLevels(query, query_coeffs, levels_, &bsf_sq,
-                                       &bsf_offset, &partial, &alive,
-                                       &visited));
+  COCONUT_RETURN_IF_ERROR(FilterLevels(query, query_coeffs, levels_, &knn,
+                                       &partial, &alive, &visited));
 
   // Verify every surviving candidate against the raw data (skip-sequential).
   fetch_buf_.resize(n);
@@ -165,59 +166,53 @@ Status VerticalIndex::ExactSearch(const Value* query, SearchResult* result) {
     if (!alive[i]) continue;
     COCONUT_RETURN_IF_ERROR(
         raw_file_->ReadAt(i * series_bytes, fetch_buf_.data()));
-    const double d =
-        SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, bsf_sq);
+    const double d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                                                  knn.bound_sq());
     ++visited;
-    if (d < bsf_sq) {
-      bsf_sq = d;
-      bsf_offset = i * series_bytes;
-    }
+    knn.Offer(i * series_bytes, d);
   }
-  result->offset = bsf_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = 0;
   return Status::OK();
 }
 
-Status VerticalIndex::ApproxSearch(const Value* query, SearchResult* result) {
+Status VerticalIndex::ApproxSearch(const Value* query, SearchResult* result,
+                                   size_t k) {
   const size_t n = options_.series_length;
   const uint64_t series_bytes = n * sizeof(Value);
   std::vector<double> query_coeffs(n);
   COCONUT_RETURN_IF_ERROR(DhwtTransform(query, n, query_coeffs.data()));
 
-  double bsf_sq = std::numeric_limits<double>::infinity();
-  uint64_t bsf_offset = 0;
+  KnnCollector knn(k);
   std::vector<double> partial;
   std::vector<bool> alive;
   uint64_t visited = 0;
   // Coarse half of the levels only.
   COCONUT_RETURN_IF_ERROR(FilterLevels(query, query_coeffs, (levels_ + 1) / 2,
-                                       &bsf_sq, &bsf_offset, &partial, &alive,
-                                       &visited));
+                                       &knn, &partial, &alive, &visited));
 
-  // Verify the best surviving candidate by partial distance.
-  uint64_t argmin = count_;
-  double best = std::numeric_limits<double>::infinity();
+  // Verify the best k surviving candidates by partial distance.
+  std::vector<uint64_t> order;
+  order.reserve(count_);
   for (uint64_t i = 0; i < count_; ++i) {
-    if (alive[i] && partial[i] < best) {
-      best = partial[i];
-      argmin = i;
-    }
+    if (alive[i]) order.push_back(i);
   }
-  if (argmin < count_) {
+  const size_t verify = std::min<size_t>(knn.k(), order.size());
+  std::partial_sort(order.begin(), order.begin() + verify, order.end(),
+                    [&](uint64_t a, uint64_t b) {
+                      return partial[a] < partial[b];
+                    });
+  for (size_t j = 0; j < verify; ++j) {
+    const uint64_t i = order[j];
     fetch_buf_.resize(n);
     COCONUT_RETURN_IF_ERROR(
-        raw_file_->ReadAt(argmin * series_bytes, fetch_buf_.data()));
+        raw_file_->ReadAt(i * series_bytes, fetch_buf_.data()));
     const double d = SquaredEuclidean(fetch_buf_.data(), query, n);
     ++visited;
-    if (d < bsf_sq) {
-      bsf_sq = d;
-      bsf_offset = argmin * series_bytes;
-    }
+    knn.Offer(i * series_bytes, d);
   }
-  result->offset = bsf_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = 0;
   return Status::OK();

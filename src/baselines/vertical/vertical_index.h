@@ -25,6 +25,8 @@
 
 namespace coconut {
 
+class KnnCollector;
+
 struct VerticalOptions {
   /// Series length; must be a power of two (DHWT requirement).
   size_t series_length = 256;
@@ -50,12 +52,13 @@ class VerticalIndex {
                       std::unique_ptr<VerticalIndex>* out,
                       VerticalBuildStats* stats = nullptr);
 
-  /// Exact nearest neighbor (filter over all levels + raw verification).
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Exact k nearest neighbors (filter over all levels + raw
+  /// verification).
+  Status ExactSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   /// Approximate search: scans only the coarse half of the levels and
-  /// verifies the best surviving candidate.
-  Status ApproxSearch(const Value* query, SearchResult* result);
+  /// verifies the best surviving candidates.
+  Status ApproxSearch(const Value* query, SearchResult* result, size_t k = 1);
 
   uint64_t num_entries() const { return count_; }
   uint64_t StorageBytes() const;
@@ -68,7 +71,7 @@ class VerticalIndex {
   /// distances and the alive set.
   Status FilterLevels(const Value* query,
                       const std::vector<double>& query_coeffs,
-                      size_t max_level, double* bsf_sq, uint64_t* bsf_offset,
+                      size_t max_level, KnnCollector* knn,
                       std::vector<double>* partial, std::vector<bool>* alive,
                       uint64_t* visited);
 

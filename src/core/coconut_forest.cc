@@ -4,9 +4,9 @@
 #include <cstring>
 #include <limits>
 #include <numeric>
-#include <queue>
 
 #include "src/common/env.h"
+#include "src/core/knn.h"
 #include "src/series/distance.h"
 #include "src/summary/invsax.h"
 
@@ -38,9 +38,9 @@ class VectorStream : public SortedRecordStream {
 /// K-way merge over the (already sorted) leaf entries of several runs.
 class MergedRunStream : public SortedRecordStream {
  public:
-  MergedRunStream(std::vector<CoconutTree*> runs, size_t entry_bytes)
+  MergedRunStream(std::vector<const CoconutTree*> runs, size_t entry_bytes)
       : entry_bytes_(entry_bytes) {
-    for (CoconutTree* run : runs) {
+    for (const CoconutTree* run : runs) {
       cursors_.push_back(Cursor{run, 0, 0, {}, 0});
       total_ += run->num_entries();
     }
@@ -72,7 +72,7 @@ class MergedRunStream : public SortedRecordStream {
 
  private:
   struct Cursor {
-    CoconutTree* run;
+    const CoconutTree* run;
     uint64_t next_leaf;
     size_t slot;
     std::vector<uint8_t> page;
@@ -102,6 +102,35 @@ class MergedRunStream : public SortedRecordStream {
   uint64_t total_ = 0;
 };
 
+/// Encodes and key-sorts `count` memtable entries into leaf-entry records.
+std::vector<uint8_t> EncodeSortedRecords(
+    const std::vector<CoconutForest::MemEntry>& entries, size_t count,
+    const CoconutOptions& tree_opts) {
+  const size_t entry_bytes = LeafEntryBytes(tree_opts);
+  const SummaryOptions& sum = tree_opts.summary;
+  std::vector<uint8_t> records(count * entry_bytes);
+  for (size_t i = 0; i < count; ++i) {
+    const ZKey key = InvSaxFromSeries(entries[i].series.data(), sum);
+    EncodeLeafEntry(key, entries[i].offset,
+                    tree_opts.materialized ? entries[i].series.data()
+                                           : nullptr,
+                    sum.series_length, records.data() + i * entry_bytes);
+  }
+  std::vector<uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::memcmp(records.data() + size_t{a} * entry_bytes,
+                       records.data() + size_t{b} * entry_bytes,
+                       ZKey::kBytes) < 0;
+  });
+  std::vector<uint8_t> sorted(records.size());
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(sorted.data() + i * entry_bytes,
+                records.data() + size_t{order[i]} * entry_bytes, entry_bytes);
+  }
+  return sorted;
+}
+
 }  // namespace
 
 std::string CoconutForest::RunPath(uint64_t id) const {
@@ -117,6 +146,8 @@ Status CoconutForest::Open(const std::string& raw_path,
   forest->options_ = options;
   forest->raw_path_ = raw_path;
   forest->dir_ = dir;
+  forest->memtable_ = std::make_shared<std::vector<MemEntry>>();
+  forest->memtable_->reserve(options.memtable_series);
   COCONUT_RETURN_IF_ERROR(MakeDirs(dir));
 
   if (!FileExists(raw_path)) {
@@ -132,7 +163,7 @@ Status CoconutForest::Open(const std::string& raw_path,
         CoconutTree::Build(raw_path, path, options.tree));
     std::unique_ptr<CoconutTree> run;
     COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path, &run));
-    forest->runs_.push_back(std::move(run));
+    forest->runs_.emplace_back(std::move(run));
   }
   *out = std::move(forest);
   return Status::OK();
@@ -149,50 +180,57 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
       return Status::InvalidArgument("series length mismatch");
     }
   }
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
   COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+  // The whole batch is on disk now; advance raw_bytes_ up front so it can
+  // never desync from the file even if a flush below fails mid-batch (the
+  // un-published tail is then orphaned bytes, not mis-addressed entries).
+  uint64_t offset = raw_bytes_;
+  raw_bytes_ += batch.size() * n * sizeof(Value);
   for (const Series& s : batch) {
-    memtable_.push_back(MemEntry{s, raw_bytes_});
-    raw_bytes_ += n * sizeof(Value);
-    if (memtable_.size() >= options_.memtable_series) {
-      COCONUT_RETURN_IF_ERROR(FlushLocked());
+    if (memtable_count_ >= options_.memtable_series) {
+      // Only reachable when an earlier flush failed and left the memtable
+      // at capacity: the flush must succeed before another push_back, or
+      // the vector would reallocate under lock-free snapshot readers.
+      COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
+    }
+    {
+      // Publish the entry: the vector never reallocates (capacity is
+      // reserved up to memtable_series, the flush threshold), so snapshot
+      // holders reading entries below the published count are unaffected.
+      std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+      memtable_->push_back(MemEntry{s, offset});
+      ++memtable_count_;
+    }
+    offset += n * sizeof(Value);
+    if (memtable_count_ >= options_.memtable_series) {
+      COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
     }
   }
   if (runs_.size() > options_.max_runs) {
-    COCONUT_RETURN_IF_ERROR(CompactAll());
+    COCONUT_RETURN_IF_ERROR(CompactWriterLocked());
   }
   return Status::OK();
 }
 
 Status CoconutForest::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  return FlushLocked();
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return FlushWriterLocked();
 }
 
-Status CoconutForest::FlushLocked() {
+Status CoconutForest::FlushWriterLocked() {
   // Encode and sort the memtable entries, then bulk-load a new run — the
-  // sequential LSM flush.
+  // sequential LSM flush. All of this happens before readers are touched:
+  // the memtable entries below memtable_count_ are immutable, so the run
+  // can be built without holding state_mu_. The run is published and the
+  // memtable retired in one atomic swap at the end, so a snapshot sees the
+  // flushed entries exactly once (either in the memtable or in the run).
+  const size_t count = memtable_count_;
+  if (count == 0) return Status::OK();
+  const std::shared_ptr<std::vector<MemEntry>> mem = memtable_;
+  std::vector<uint8_t> sorted =
+      EncodeSortedRecords(*mem, count, options_.tree);
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
-  const SummaryOptions& sum = options_.tree.summary;
-  std::vector<uint8_t> records(memtable_.size() * entry_bytes);
-  for (size_t i = 0; i < memtable_.size(); ++i) {
-    const ZKey key = InvSaxFromSeries(memtable_[i].series.data(), sum);
-    EncodeLeafEntry(key, memtable_[i].offset,
-                    options_.tree.materialized ? memtable_[i].series.data()
-                                               : nullptr,
-                    sum.series_length, records.data() + i * entry_bytes);
-  }
-  std::vector<uint32_t> order(memtable_.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return std::memcmp(records.data() + size_t{a} * entry_bytes,
-                       records.data() + size_t{b} * entry_bytes,
-                       ZKey::kBytes) < 0;
-  });
-  std::vector<uint8_t> sorted(records.size());
-  for (size_t i = 0; i < memtable_.size(); ++i) {
-    std::memcpy(sorted.data() + i * entry_bytes,
-                records.data() + size_t{order[i]} * entry_bytes, entry_bytes);
-  }
   const std::string path = RunPath(next_run_id_++);
   {
     VectorStream stream(std::move(sorted), entry_bytes);
@@ -201,98 +239,144 @@ Status CoconutForest::FlushLocked() {
   }
   std::unique_ptr<CoconutTree> run;
   COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path_, &run));
-  runs_.push_back(std::move(run));
-  memtable_.clear();
+  auto fresh = std::make_shared<std::vector<MemEntry>>();
+  fresh->reserve(options_.memtable_series);
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    runs_.emplace_back(std::move(run));
+    memtable_ = std::move(fresh);
+    memtable_count_ = 0;
+  }
   return Status::OK();
 }
 
 Status CoconutForest::CompactAll() {
-  COCONUT_RETURN_IF_ERROR(Flush());
-  if (runs_.size() <= 1) return Status::OK();
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return CompactWriterLocked();
+}
+
+Status CoconutForest::CompactWriterLocked() {
+  COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
+  // The writer is the only mutator of runs_, so reading it without state_mu_
+  // is safe here; the merge below runs on immutable trees outside any lock.
+  const std::vector<std::shared_ptr<const CoconutTree>> inputs = runs_;
+  if (inputs.size() <= 1) return Status::OK();
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
   const std::string path = RunPath(next_run_id_++);
   {
-    std::vector<CoconutTree*> inputs;
-    inputs.reserve(runs_.size());
-    for (auto& run : runs_) inputs.push_back(run.get());
-    MergedRunStream stream(std::move(inputs), entry_bytes);
+    std::vector<const CoconutTree*> raw_inputs;
+    raw_inputs.reserve(inputs.size());
+    for (const auto& run : inputs) raw_inputs.push_back(run.get());
+    MergedRunStream stream(std::move(raw_inputs), entry_bytes);
     COCONUT_RETURN_IF_ERROR(
         CoconutTreeBuilder::BulkLoad(&stream, options_.tree, path));
   }
-  // Swap in the merged run; drop and delete the inputs.
-  std::vector<std::string> old_paths;
-  for (auto& run : runs_) old_paths.push_back(run->index_path());
-  runs_.clear();
   std::unique_ptr<CoconutTree> merged;
   COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path_, &merged));
-  runs_.push_back(std::move(merged));
-  for (const std::string& p : old_paths) {
-    (void)RemoveAll(p);
-    (void)RemoveAll(p + ".sax");
+  {
+    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    runs_.clear();
+    runs_.emplace_back(std::move(merged));
+  }
+  // Unlink the merged-away files; snapshot holders that still reference the
+  // old trees keep reading through their open descriptors.
+  for (const auto& run : inputs) {
+    (void)RemoveAll(run->index_path());
+    (void)RemoveAll(run->index_path() + ".sax");
   }
   return Status::OK();
 }
 
-uint64_t CoconutForest::num_entries() const {
-  uint64_t total = memtable_.size();
-  for (const auto& run : runs_) total += run->num_entries();
-  return total;
+CoconutForest::Snapshot CoconutForest::GetSnapshot() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  Snapshot snap;
+  snap.memtable = memtable_;
+  snap.memtable_count = memtable_count_;
+  snap.runs = runs_;
+  return snap;
 }
 
-Status CoconutForest::ExactSearch(const Value* query, SearchResult* result) {
-  if (num_entries() == 0) return Status::NotFound("empty forest");
+size_t CoconutForest::num_runs() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  return runs_.size();
+}
+
+uint64_t CoconutForest::num_entries() const { return GetSnapshot().num_entries(); }
+
+uint64_t CoconutForest::memtable_size() const {
+  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  return memtable_count_;
+}
+
+Status CoconutForest::ExactSearch(const Value* query, SearchResult* result,
+                                  size_t k) const {
+  return ExactSearch(GetSnapshot(), query, result, k);
+}
+
+Status CoconutForest::ExactSearch(const Snapshot& snapshot,
+                                  const Value* query, SearchResult* result,
+                                  size_t k,
+                                  CoconutTree::QueryScratch* scratch) const {
+  if (snapshot.num_entries() == 0) return Status::NotFound("empty forest");
+  CoconutTree::QueryScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   const size_t n = options_.tree.summary.series_length;
-  SearchResult best;
-  best.distance = std::numeric_limits<double>::infinity();
+  KnnCollector knn(k);
+  uint64_t visited = 0;
+  uint64_t leaves_read = 0;
   // Memtable: brute force (it is small by construction).
-  for (const MemEntry& e : memtable_) {
-    const double d = Euclidean(e.series.data(), query, n);
-    ++best.visited_records;
-    if (d < best.distance) {
-      best.distance = d;
-      best.offset = e.offset;
-    }
+  for (size_t i = 0; i < snapshot.memtable_count; ++i) {
+    const MemEntry& e = (*snapshot.memtable)[i];
+    knn.Offer(e.offset, SquaredEuclidean(e.series.data(), query, n));
+    ++visited;
   }
-  // Runs: per-run exact answers; the global exact NN is their minimum.
-  for (auto& run : runs_) {
+  // Runs: per-run exact k-NN answers; runs partition the data, so the
+  // merged top-k is the global top-k.
+  for (const auto& run : snapshot.runs) {
     SearchResult r;
-    COCONUT_RETURN_IF_ERROR(run->ExactSearch(query, 1, &r));
-    best.visited_records += r.visited_records;
-    best.leaves_read += r.leaves_read;
-    if (r.distance < best.distance) {
-      best.distance = r.distance;
-      best.offset = r.offset;
-    }
+    COCONUT_RETURN_IF_ERROR(run->ExactSearch(query, 1, &r, k, scratch));
+    visited += r.visited_records;
+    leaves_read += r.leaves_read;
+    knn.Seed(r);
   }
-  *result = best;
+  knn.Finalize(result);
+  result->visited_records = visited;
+  result->leaves_read = leaves_read;
   return Status::OK();
 }
 
 Status CoconutForest::ApproxSearch(const Value* query, size_t num_leaves,
-                                   SearchResult* result) {
-  if (num_entries() == 0) return Status::NotFound("empty forest");
+                                   SearchResult* result, size_t k) const {
+  return ApproxSearch(GetSnapshot(), query, num_leaves, result, k);
+}
+
+Status CoconutForest::ApproxSearch(const Snapshot& snapshot,
+                                   const Value* query, size_t num_leaves,
+                                   SearchResult* result, size_t k,
+                                   CoconutTree::QueryScratch* scratch) const {
+  if (snapshot.num_entries() == 0) return Status::NotFound("empty forest");
+  CoconutTree::QueryScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   const size_t n = options_.tree.summary.series_length;
-  SearchResult best;
-  best.distance = std::numeric_limits<double>::infinity();
-  for (const MemEntry& e : memtable_) {
-    const double d = Euclidean(e.series.data(), query, n);
-    ++best.visited_records;
-    if (d < best.distance) {
-      best.distance = d;
-      best.offset = e.offset;
-    }
+  KnnCollector knn(k);
+  uint64_t visited = 0;
+  uint64_t leaves_read = 0;
+  for (size_t i = 0; i < snapshot.memtable_count; ++i) {
+    const MemEntry& e = (*snapshot.memtable)[i];
+    knn.Offer(e.offset, SquaredEuclidean(e.series.data(), query, n));
+    ++visited;
   }
-  for (auto& run : runs_) {
+  for (const auto& run : snapshot.runs) {
     SearchResult r;
-    COCONUT_RETURN_IF_ERROR(run->ApproxSearch(query, num_leaves, &r));
-    best.visited_records += r.visited_records;
-    best.leaves_read += r.leaves_read;
-    if (r.distance < best.distance) {
-      best.distance = r.distance;
-      best.offset = r.offset;
-    }
+    COCONUT_RETURN_IF_ERROR(
+        run->ApproxSearch(query, num_leaves, &r, k, scratch));
+    visited += r.visited_records;
+    leaves_read += r.leaves_read;
+    knn.Seed(r);
   }
-  *result = best;
+  knn.Finalize(result);
+  result->visited_records = visited;
+  result->leaves_read = leaves_read;
   return Status::OK();
 }
 

@@ -9,9 +9,23 @@
 // merged into one (tiered full compaction): a single sequential pass, since
 // every run is already in invSAX order.
 //
-// Queries consult the buffer plus every run; exact search takes the minimum
-// of the per-run exact answers (each run's SIMS scan is exact over its
-// data, so the minimum is the global exact nearest neighbor).
+// Queries consult the buffer plus every run; exact search merges the
+// per-run exact k-NN answers (each run's SIMS scan is exact over its data
+// and runs partition the dataset, so the merged top-k is the global top-k).
+//
+// Concurrency model (snapshot isolation):
+//  * Writers (Insert/InsertBatch/Flush/CompactAll) are serialized by an
+//    internal writer mutex. Expensive work — run bulk-loads, compaction
+//    merges — happens outside any reader-visible lock.
+//  * Readers grab a Snapshot under a shared_mutex held only long enough to
+//    copy the run set (shared_ptrs) and the memtable publish point, then
+//    search entirely lock-free on immutable state. Runs are immutable
+//    Coconut-Trees; the memtable vector has fixed capacity and entries
+//    [0, memtable_count) are never mutated after publication, so a late
+//    writer appending entry `count` never races a reader of [0, count).
+//  * Compaction swaps the run set atomically; snapshot holders keep the old
+//    run trees alive via shared_ptr (their files stay readable after unlink
+//    because the file descriptors remain open).
 //
 // Compared to CoconutTree::MergeBatch (which rebuilds the whole index per
 // batch), the forest amortizes ingestion: small fragmented batches no
@@ -22,6 +36,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +66,26 @@ struct ForestOptions {
 
 class CoconutForest {
  public:
+  struct MemEntry {
+    Series series;
+    uint64_t offset;
+  };
+
+  /// An immutable point-in-time view of the forest. Cheap to copy (shared
+  /// ownership of the run trees and the memtable buffer). Queries against a
+  /// snapshot never block, and are never affected by, concurrent writers.
+  struct Snapshot {
+    std::shared_ptr<const std::vector<MemEntry>> memtable;
+    size_t memtable_count = 0;
+    std::vector<std::shared_ptr<const CoconutTree>> runs;
+
+    uint64_t num_entries() const {
+      uint64_t total = memtable_count;
+      for (const auto& run : runs) total += run->num_entries();
+      return total;
+    }
+  };
+
   /// Creates a forest over the dataset at `raw_path` (which may be empty or
   /// already populated — existing series are bulk-loaded as the first run).
   /// Run files are stored under `dir`.
@@ -58,7 +94,8 @@ class CoconutForest {
                      std::unique_ptr<CoconutForest>* out);
 
   /// Appends one series to the raw file and the memtable; may flush a run
-  /// and/or trigger compaction.
+  /// and/or trigger compaction. Writers are serialized internally and do
+  /// not block concurrent readers.
   Status Insert(const Series& series);
 
   /// Batch variant of Insert.
@@ -71,36 +108,53 @@ class CoconutForest {
   /// when run count exceeds options.max_runs).
   Status CompactAll();
 
-  /// Exact nearest neighbor across the memtable and all runs.
-  Status ExactSearch(const Value* query, SearchResult* result);
+  /// Captures an immutable snapshot of the current forest state.
+  Snapshot GetSnapshot() const;
 
-  /// Approximate search: best candidate across the memtable and the target
-  /// leaf window of every run.
+  /// Exact k nearest neighbors across the memtable and all runs.
+  Status ExactSearch(const Value* query, SearchResult* result,
+                     size_t k = 1) const;
+  Status ExactSearch(const Snapshot& snapshot, const Value* query,
+                     SearchResult* result, size_t k = 1,
+                     CoconutTree::QueryScratch* scratch = nullptr) const;
+
+  /// Approximate search: best k candidates across the memtable and the
+  /// target leaf window of every run.
   Status ApproxSearch(const Value* query, size_t num_leaves,
-                      SearchResult* result);
+                      SearchResult* result, size_t k = 1) const;
+  Status ApproxSearch(const Snapshot& snapshot, const Value* query,
+                      size_t num_leaves, SearchResult* result, size_t k = 1,
+                      CoconutTree::QueryScratch* scratch = nullptr) const;
 
-  size_t num_runs() const { return runs_.size(); }
+  size_t num_runs() const;
   uint64_t num_entries() const;
-  uint64_t memtable_size() const { return memtable_.size(); }
+  uint64_t memtable_size() const;
 
  private:
   CoconutForest() = default;
 
-  Status FlushLocked();
+  /// Flushes the memtable; requires writer_mu_ held.
+  Status FlushWriterLocked();
+  /// Full compaction; requires writer_mu_ held.
+  Status CompactWriterLocked();
   std::string RunPath(uint64_t id) const;
 
   ForestOptions options_;
   std::string raw_path_;
   std::string dir_;
+
+  // Writer-only state: serialized by writer_mu_, never touched by readers.
+  std::mutex writer_mu_;
   uint64_t next_run_id_ = 0;
   uint64_t raw_bytes_ = 0;  // current size of the raw file
 
-  struct MemEntry {
-    Series series;
-    uint64_t offset;
-  };
-  std::vector<MemEntry> memtable_;
-  std::vector<std::unique_ptr<CoconutTree>> runs_;
+  // Reader-visible state, guarded by state_mu_. The memtable vector is
+  // created with capacity memtable_series and replaced (never reallocated)
+  // on flush; entries below memtable_count_ are immutable.
+  mutable std::shared_mutex state_mu_;
+  std::shared_ptr<std::vector<MemEntry>> memtable_;
+  size_t memtable_count_ = 0;
+  std::vector<std::shared_ptr<const CoconutTree>> runs_;
 };
 
 }  // namespace coconut

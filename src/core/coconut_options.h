@@ -3,8 +3,10 @@
 #define COCONUT_CORE_COCONUT_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/summary/options.h"
@@ -65,16 +67,29 @@ struct CoconutOptions {
   }
 };
 
-/// Result of an approximate or exact nearest-neighbor search.
-struct SearchResult {
-  /// Byte offset of the answer series in the raw dataset file.
+/// One answer of a k-NN search.
+struct Neighbor {
+  /// Byte offset of the series in the raw dataset file.
   uint64_t offset = 0;
-  /// Euclidean distance from the query to the answer.
+  /// Euclidean distance from the query.
+  double distance = 0.0;
+};
+
+/// Result of an approximate or exact nearest-neighbor search. Searches take
+/// a `k` parameter (default 1); `neighbors` holds up to k answers in
+/// ascending distance order, and the legacy top-1 fields always mirror
+/// `neighbors.front()`.
+struct SearchResult {
+  /// Byte offset of the nearest answer in the raw dataset file.
+  uint64_t offset = 0;
+  /// Euclidean distance from the query to the nearest answer.
   double distance = 0.0;
   /// Number of raw series whose true distance was computed.
   uint64_t visited_records = 0;
   /// Number of leaf pages fetched from the index.
   uint64_t leaves_read = 0;
+  /// k nearest answers, ascending by distance (size <= requested k).
+  std::vector<Neighbor> neighbors;
 };
 
 }  // namespace coconut

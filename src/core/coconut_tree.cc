@@ -7,10 +7,11 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <mutex>
 #include <numeric>
-#include <thread>
 
 #include "src/common/env.h"
+#include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/io/buffered_io.h"
 #include "src/series/distance.h"
@@ -47,6 +48,11 @@ Status CoconutTree::Open(const std::string& index_path,
 
   COCONUT_RETURN_IF_ERROR(RawSeriesFile::Open(
       raw_path, tree->options_.summary.series_length, &tree->raw_file_));
+  // Best-effort eager open of the .sax sidecar: holding the descriptor
+  // lets snapshot readers lazy-load it even after compaction unlinks the
+  // file. A missing sidecar is tolerated here (approx-only indexes work
+  // without it); ExactSearch reports it when actually needed.
+  (void)RandomAccessFile::Open(index_path + ".sax", &tree->sidecar_file_);
   COCONUT_RETURN_IF_ERROR(tree->LoadInternalLevels());
   *out = std::move(tree);
   return Status::OK();
@@ -107,7 +113,7 @@ uint64_t CoconutTree::LocateLeaf(const ZKey& key) const {
 }
 
 Status CoconutTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page,
-                                 size_t* entry_count) {
+                                 size_t* entry_count) const {
   if (leaf >= super_.num_leaves) {
     return Status::InvalidArgument("leaf index out of range");
   }
@@ -123,7 +129,8 @@ Status CoconutTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page,
 }
 
 Status CoconutTree::EntryDistanceSq(const uint8_t* entry, const Value* query,
-                                    double bound_sq, double* dist_sq) {
+                                    double bound_sq, QueryScratch* scratch,
+                                    double* dist_sq) const {
   const size_t n = options_.summary.series_length;
   if (options_.materialized) {
     *dist_sq =
@@ -131,23 +138,30 @@ Status CoconutTree::EntryDistanceSq(const uint8_t* entry, const Value* query,
                                      bound_sq);
     return Status::OK();
   }
-  fetch_buf_.resize(n);
+  scratch->fetch.resize(n);
   COCONUT_RETURN_IF_ERROR(
-      raw_file_->ReadAt(DecodeLeafEntryOffset(entry), fetch_buf_.data()));
-  *dist_sq = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+      raw_file_->ReadAt(DecodeLeafEntryOffset(entry), scratch->fetch.data()));
+  *dist_sq = SquaredEuclideanEarlyAbandon(scratch->fetch.data(), query, n,
                                           bound_sq);
   return Status::OK();
 }
 
 Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
-                                 SearchResult* result) {
+                                 SearchResult* result, size_t k) const {
+  QueryScratch scratch;
+  return ApproxSearch(query, num_leaves, result, k, &scratch);
+}
+
+Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
+                                 SearchResult* result, size_t k,
+                                 QueryScratch* scratch) const {
   if (num_leaves == 0) num_leaves = 1;
   const SummaryOptions& sum = options_.summary;
-  std::vector<double> paa(sum.segments);
-  PaaTransform(query, sum.series_length, sum.segments, paa.data());
-  std::vector<uint8_t> sax(sum.segments);
-  SaxFromPaa(paa.data(), sum, sax.data());
-  const ZKey key = InvSaxFromSax(sax.data(), sum);
+  scratch->paa.resize(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
+  scratch->sax.resize(sum.segments);
+  SaxFromPaa(scratch->paa.data(), sum, scratch->sax.data());
+  const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
   const uint64_t target = LocateLeaf(key);
   // Window of `num_leaves` contiguous pages centered on the target (paper:
@@ -158,85 +172,111 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
                                    lo + num_leaves - 1);
   lo = (hi + 1 >= num_leaves) ? hi + 1 - num_leaves : 0;
 
-  double best_sq = std::numeric_limits<double>::infinity();
-  uint64_t best_offset = 0;
+  KnnCollector knn(k);
   uint64_t visited = 0;
-  std::vector<uint8_t> page;
+  std::vector<uint8_t>& page = scratch->page;
   for (uint64_t lf = lo; lf <= hi; ++lf) {
     size_t cnt;
     COCONUT_RETURN_IF_ERROR(ReadLeafPage(lf, &page, &cnt));
     for (size_t i = 0; i < cnt; ++i) {
       const uint8_t* entry = page.data() + i * super_.entry_bytes;
       double d;
-      COCONUT_RETURN_IF_ERROR(EntryDistanceSq(entry, query, best_sq, &d));
+      COCONUT_RETURN_IF_ERROR(
+          EntryDistanceSq(entry, query, knn.bound_sq(), scratch, &d));
       ++visited;
-      if (d < best_sq) {
-        best_sq = d;
-        best_offset = DecodeLeafEntryOffset(entry);
-      }
+      knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   }
-  result->offset = best_offset;
-  result->distance = std::sqrt(best_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
   return Status::OK();
 }
 
-Status CoconutTree::EnsureSimsLoaded() {
-  if (sims_loaded_) return Status::OK();
+Status CoconutTree::EnsureSimsLoaded() const {
+  // Load-once latch: the first exact query on this tree loads the sidecar;
+  // concurrent callers block on the mutex and find sims_loaded_ set. The
+  // arrays are immutable afterwards, so the steady state is a lock-free
+  // acquire-load.
+  if (sims_loaded_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(sims_mu_);
+  if (sims_loaded_.load(std::memory_order_relaxed)) return Status::OK();
+  if (sidecar_file_ == nullptr) {
+    // Open() tolerated a missing sidecar (approx-only usage); retry here
+    // so a later-restored file still works.
+    COCONUT_RETURN_IF_ERROR(
+        RandomAccessFile::Open(index_path_ + ".sax", &sidecar_file_));
+  }
   const size_t w = options_.summary.segments;
   const uint64_t n = super_.num_entries;
-  BufferedReader reader;
-  COCONUT_RETURN_IF_ERROR(reader.Open(index_path_ + ".sax"));
-  if (reader.file_size() != n * (w + 8)) {
+  if (sidecar_file_->size() != n * (w + 8)) {
     return Status::Corruption("sidecar size mismatch");
   }
   sims_sax_.resize(n * w);
   sims_offsets_.resize(n);
-  std::vector<uint8_t> rec(w + 8);
-  for (uint64_t i = 0; i < n; ++i) {
-    COCONUT_RETURN_IF_ERROR(reader.Read(rec.data(), rec.size()));
-    std::memcpy(sims_sax_.data() + i * w, rec.data(), w);
-    std::memcpy(&sims_offsets_[i], rec.data() + w, 8);
+  // Read through the handle opened at Open() time: the file may already be
+  // unlinked (compaction), but the descriptor keeps its data reachable.
+  // Large chunks keep this O(N/B) block reads, not O(N) syscalls.
+  const size_t rec_bytes = w + 8;
+  const size_t chunk_recs =
+      std::max<size_t>(1, (4u << 20) / rec_bytes);  // ~4 MiB per read
+  std::vector<uint8_t> buf(chunk_recs * rec_bytes);
+  for (uint64_t base = 0; base < n; base += chunk_recs) {
+    const uint64_t m = std::min<uint64_t>(chunk_recs, n - base);
+    COCONUT_RETURN_IF_ERROR(
+        sidecar_file_->Read(base * rec_bytes, m * rec_bytes, buf.data()));
+    for (uint64_t i = 0; i < m; ++i) {
+      const uint8_t* rec = buf.data() + i * rec_bytes;
+      std::memcpy(sims_sax_.data() + (base + i) * w, rec, w);
+      std::memcpy(&sims_offsets_[base + i], rec + w, 8);
+    }
   }
-  sims_loaded_ = true;
+  sims_loaded_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
-                                SearchResult* result) {
+                                SearchResult* result, size_t k) const {
+  QueryScratch scratch;
+  return ExactSearch(query, approx_leaves, result, k, &scratch);
+}
+
+Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
+                                SearchResult* result, size_t k,
+                                QueryScratch* scratch) const {
   // Lines 3-4 of Algorithm 5: load the in-memory summarizations once.
   COCONUT_RETURN_IF_ERROR(EnsureSimsLoaded());
 
-  // Line 6: seed the best-so-far with an approximate answer.
+  // Line 6: seed the best-so-far set with the approximate answers.
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_leaves, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_leaves, &approx, k,
+                                       scratch));
+  KnnCollector knn(k);
+  knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
-  std::vector<double> paa(sum.segments);
-  PaaTransform(query, sum.series_length, sum.segments, paa.data());
+  scratch->paa.resize(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
 
   // Lines 8-10: compute lower bounds for every entry, in parallel.
   const uint64_t n = super_.num_entries;
-  std::vector<double> mindists;
-  ParallelMindists(paa.data(), sims_sax_.data(), n, sum,
+  std::vector<double>& mindists = scratch->mindists;
+  ParallelMindists(scratch->paa.data(), sims_sax_.data(), n, sum,
                    options_.EffectiveThreads(), &mindists);
 
   // Lines 12-19: skip-sequential scan in leaf order, fetching raw data only
-  // for unpruned entries. For the materialized tree the fetch is served from
-  // the contiguous leaf pages; otherwise from the raw file by offset.
+  // for unpruned entries (pruning against the k-th best distance). For the
+  // materialized tree the fetch is served from the contiguous leaf pages;
+  // otherwise from the raw file by offset.
   uint64_t visited = 0;
   uint64_t leaves_read = 0;
   const size_t series_len = sum.series_length;
   if (options_.materialized) {
-    std::vector<uint8_t> page;
+    std::vector<uint8_t>& page = scratch->page;
     uint64_t cached_leaf = std::numeric_limits<uint64_t>::max();
     size_t cached_cnt = 0;
     for (uint64_t i = 0; i < n; ++i) {
-      if (mindists[i] >= bsf_sq) continue;
+      if (mindists[i] >= knn.bound_sq()) continue;
       const uint64_t leaf = i / super_.entries_per_leaf;
       if (leaf != cached_leaf) {
         COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page, &cached_cnt));
@@ -245,32 +285,25 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
       }
       const size_t slot = static_cast<size_t>(i % super_.entries_per_leaf);
       const uint8_t* entry = page.data() + slot * super_.entry_bytes;
-      const double d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry),
-                                                    query, series_len, bsf_sq);
+      const double d = SquaredEuclideanEarlyAbandon(
+          LeafEntrySeries(entry), query, series_len, knn.bound_sq());
       ++visited;
-      if (d < bsf_sq) {
-        bsf_sq = d;
-        best_offset = DecodeLeafEntryOffset(entry);
-      }
+      knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   } else {
-    fetch_buf_.resize(series_len);
+    scratch->fetch.resize(series_len);
     for (uint64_t i = 0; i < n; ++i) {
-      if (mindists[i] >= bsf_sq) continue;
+      if (mindists[i] >= knn.bound_sq()) continue;
       COCONUT_RETURN_IF_ERROR(
-          raw_file_->ReadAt(sims_offsets_[i], fetch_buf_.data()));
-      const double d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query,
-                                                    series_len, bsf_sq);
+          raw_file_->ReadAt(sims_offsets_[i], scratch->fetch.data()));
+      const double d = SquaredEuclideanEarlyAbandon(
+          scratch->fetch.data(), query, series_len, knn.bound_sq());
       ++visited;
-      if (d < bsf_sq) {
-        bsf_sq = d;
-        best_offset = sims_offsets_[i];
-      }
+      knn.Offer(sims_offsets_[i], d);
     }
   }
 
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + leaves_read;
   return Status::OK();
@@ -293,7 +326,7 @@ Status CoconutTree::IndexSizeBytes(uint64_t* bytes) const {
 }
 
 Status CoconutTree::ReadLeafEntries(uint64_t leaf, std::vector<ZKey>* keys,
-                                    std::vector<uint64_t>* offsets) {
+                                    std::vector<uint64_t>* offsets) const {
   std::vector<uint8_t> page;
   size_t cnt;
   COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page, &cnt));
@@ -382,7 +415,7 @@ class MergeStream : public SortedRecordStream {
 
 Status CoconutTree::ReadLeafEntriesRaw(uint64_t leaf,
                                        std::vector<uint8_t>* page,
-                                       size_t* entry_count) {
+                                       size_t* entry_count) const {
   return ReadLeafPage(leaf, page, entry_count);
 }
 
@@ -437,9 +470,10 @@ Status CoconutTree::MergeBatch(const std::vector<Series>& batch) {
   options_ = reopened->options_;
   super_ = reopened->super_;
   index_file_ = std::move(reopened->index_file_);
+  sidecar_file_ = std::move(reopened->sidecar_file_);
   raw_file_ = std::move(reopened->raw_file_);
   levels_ = std::move(reopened->levels_);
-  sims_loaded_ = false;
+  sims_loaded_.store(false, std::memory_order_release);
   sims_sax_.clear();
   sims_offsets_.clear();
   return Status::OK();

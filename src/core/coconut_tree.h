@@ -13,14 +13,25 @@
 //    summarization array with parallel threads, then perform a
 //    skip-sequential pass over the data fetching only unpruned series.
 //
+// Both queries accept k >= 1 and return the k nearest neighbors.
+//
+// Thread safety: the query paths (ApproxSearch/ExactSearch/ReadLeaf*) are
+// const and safe to call concurrently from many threads — per-query scratch
+// buffers replace shared mutable state, and the lazily-loaded SIMS arrays
+// are guarded by a load-once latch. MergeBatch is a writer and must not run
+// concurrently with queries on the same object (CoconutForest provides
+// snapshot isolation on top for that).
+//
 // Updates: batches are ingested by sorting the new entries and
 // merge-rebuilding the contiguous leaf run (sequential I/O), the bulk
 // analogue the paper's Fig 10a exercises.
 #ifndef COCONUT_CORE_COCONUT_TREE_H_
 #define COCONUT_CORE_COCONUT_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +61,17 @@ struct TreeBuildStats {
 
 class CoconutTree {
  public:
+  /// Reusable per-caller scratch for the query paths. Queries allocate one
+  /// internally when none is supplied; batch executors (QueryEngine) pass
+  /// one per worker to avoid repeated allocation.
+  struct QueryScratch {
+    std::vector<Value> fetch;      // raw-series fetch buffer
+    std::vector<uint8_t> page;     // leaf page buffer
+    std::vector<double> paa;       // query PAA
+    std::vector<uint8_t> sax;      // query SAX word
+    std::vector<double> mindists;  // SIMS lower bounds
+  };
+
   /// Builds an index over the raw dataset at `raw_path` into `index_path`
   /// (plus a `<index_path>.sax` sidecar holding the in-memory-scan summary
   /// array). Algorithm 3 of the paper.
@@ -64,19 +86,26 @@ class CoconutTree {
                      const std::string& raw_path,
                      std::unique_ptr<CoconutTree>* out);
 
-  /// Approximate search: visits a window of `num_leaves` contiguous leaf
-  /// pages centered on the query's would-be position (paper's CTree(r)
+  /// Approximate k-NN search: visits a window of `num_leaves` contiguous
+  /// leaf pages centered on the query's would-be position (paper's CTree(r)
   /// notation: CTree(1) visits one page, CTree(10) visits ten).
   Status ApproxSearch(const Value* query, size_t num_leaves,
-                      SearchResult* result);
+                      SearchResult* result, size_t k = 1) const;
+  Status ApproxSearch(const Value* query, size_t num_leaves,
+                      SearchResult* result, size_t k,
+                      QueryScratch* scratch) const;
 
-  /// Exact search via CoconutTreeSIMS. `approx_leaves` is the radius given
-  /// to the seeding approximate search.
+  /// Exact k-NN search via CoconutTreeSIMS. `approx_leaves` is the radius
+  /// given to the seeding approximate search.
   Status ExactSearch(const Value* query, size_t approx_leaves,
-                     SearchResult* result);
+                     SearchResult* result, size_t k = 1) const;
+  Status ExactSearch(const Value* query, size_t approx_leaves,
+                     SearchResult* result, size_t k,
+                     QueryScratch* scratch) const;
 
   /// Bulk-ingests a batch: appends the series to the raw dataset file and
-  /// merge-rebuilds the index sequentially. The in-memory state is refreshed.
+  /// merge-rebuilds the index sequentially. The in-memory state is
+  /// refreshed. Not safe to run concurrently with queries on this object.
   Status MergeBatch(const std::vector<Series>& batch);
 
   // --- introspection (used by tests and the space-overhead benches) ---
@@ -93,33 +122,40 @@ class CoconutTree {
 
   /// Entries of one leaf, decoded (used by tests and the trie comparison).
   Status ReadLeafEntries(uint64_t leaf, std::vector<ZKey>* keys,
-                         std::vector<uint64_t>* offsets);
+                         std::vector<uint64_t>* offsets) const;
 
   /// Raw bytes of one leaf page plus its live entry count (used by the
   /// sequential merge in MergeBatch).
   Status ReadLeafEntriesRaw(uint64_t leaf, std::vector<uint8_t>* page,
-                            size_t* entry_count);
+                            size_t* entry_count) const;
 
  private:
   friend class CoconutTreeBuilder;
   CoconutTree() = default;
 
   Status LoadInternalLevels();
-  Status EnsureSimsLoaded();
+  /// Loads the SIMS sidecar arrays once; concurrent callers block until the
+  /// first load finishes and share its status.
+  Status EnsureSimsLoaded() const;
   /// Walks the in-memory internal levels; returns the leaf index whose key
   /// range covers `key`.
   uint64_t LocateLeaf(const ZKey& key) const;
   Status ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page,
-                      size_t* entry_count);
+                      size_t* entry_count) const;
   /// True distance from query to entry `slot` of a decoded leaf page.
   Status EntryDistanceSq(const uint8_t* entry, const Value* query,
-                         double bound_sq, double* dist_sq);
+                         double bound_sq, QueryScratch* scratch,
+                         double* dist_sq) const;
 
   CoconutOptions options_;
   TreeSuperblock super_;
   std::string index_path_;
   std::string raw_path_;
   std::unique_ptr<RandomAccessFile> index_file_;
+  // The .sax sidecar is opened eagerly when present (so a snapshot holder
+  // can still load it after compaction unlinks the file); contents load
+  // lazily. Mutable: EnsureSimsLoaded may retry the open under sims_mu_.
+  mutable std::unique_ptr<RandomAccessFile> sidecar_file_;
   std::unique_ptr<RawSeriesFile> raw_file_;
 
   struct InternalLevel {
@@ -131,13 +167,14 @@ class CoconutTree {
   // levels_[0] is the level directly above the leaves; back() is the root.
   std::vector<InternalLevel> levels_;
 
-  // SIMS in-memory arrays (leaf order), loaded lazily from the sidecar.
-  bool sims_loaded_ = false;
-  std::vector<uint8_t> sims_sax_;      // num_entries * segments bytes
-  std::vector<uint64_t> sims_offsets_;  // num_entries
-
-  // Scratch buffer for raw-file fetches (queries are single-threaded).
-  std::vector<Value> fetch_buf_;
+  // SIMS in-memory arrays (leaf order), loaded lazily from the sidecar on
+  // first exact query. Immutable once sims_loaded_ is set (release-store
+  // after the arrays are filled; acquire-load fast path keeps the steady
+  // state lock-free); sims_mu_ serializes the one-time load.
+  mutable std::mutex sims_mu_;
+  mutable std::atomic<bool> sims_loaded_{false};
+  mutable std::vector<uint8_t> sims_sax_;      // num_entries * segments bytes
+  mutable std::vector<uint64_t> sims_offsets_;  // num_entries
 };
 
 /// Shared bulk-loading machinery, reused by Build, MergeBatch, and the
@@ -150,8 +187,9 @@ class CoconutTreeBuilder {
                          const CoconutOptions& options,
                          const std::string& index_path);
 
-  /// Scans the dataset, computes invSAX keys, external-sorts the entries,
-  /// and bulk-loads. `stats` (optional) receives phase timings.
+  /// Scans the dataset, computes invSAX keys (in parallel on the shared
+  /// pool unless options.num_threads == 1), external-sorts the entries, and
+  /// bulk-loads. `stats` (optional) receives phase timings.
   static Status BuildFromDataset(const std::string& raw_path,
                                  const std::string& index_path,
                                  const CoconutOptions& options,

@@ -9,6 +9,7 @@
 #include "src/common/env.h"
 #include "src/common/timer.h"
 #include "src/core/coconut_tree.h"
+#include "src/exec/thread_pool.h"
 #include "src/io/buffered_io.h"
 #include "src/summary/invsax.h"
 #include "src/summary/paa.h"
@@ -171,31 +172,64 @@ Status CoconutTreeBuilder::BuildFromDataset(const std::string& raw_path,
   // lines 2-11). The paper stores (invSAX, position) in the FBL; the
   // materialized variant additionally carries the raw payload so that the
   // sort phase orders the full records (Coconut-Tree-Full).
+  //
+  // The scan stays sequential (one reader), but summarization — PAA, SAX,
+  // key interleaving, record encoding — is CPU work done per series, so it
+  // runs over the shared pool in fixed-size strides. Records are handed to
+  // the sorter in file order, making the output byte-identical to the
+  // serial path.
   Stopwatch watch;
   {
     DatasetScanner scanner;
     COCONUT_RETURN_IF_ERROR(
         scanner.Open(raw_path, options.summary.series_length));
-    std::vector<Value> series(options.summary.series_length);
-    std::vector<double> paa(options.summary.segments);
-    std::vector<uint8_t> sax(options.summary.segments);
-    std::vector<uint8_t> record(entry_bytes);
+    const size_t series_len = options.summary.series_length;
+    const uint64_t series_bytes = series_len * sizeof(Value);
+    const bool serial = options.num_threads == 1;
+    // Stride sized from a byte budget so the staging buffers stay a few
+    // MiB even for long or materialized series; the serial path uses a
+    // stride of 1 to keep memory flat.
+    const size_t stride =
+        serial ? 1
+               : std::max<size_t>(
+                     1, (size_t{8} << 20) /
+                            std::max<size_t>(series_bytes, entry_bytes));
+    std::vector<Value> series_buf(stride * series_len);
+    std::vector<uint8_t> records(stride * entry_bytes);
     Status st;
     uint64_t position = 0;
-    const uint64_t series_bytes =
-        options.summary.series_length * sizeof(Value);
-    while (scanner.Next(series.data(), &st)) {
-      PaaTransform(series.data(), options.summary.series_length,
-                   options.summary.segments, paa.data());
-      SaxFromPaa(paa.data(), options.summary, sax.data());
-      const ZKey key = InvSaxFromSax(sax.data(), options.summary);
-      EncodeLeafEntry(key, position,
-                      options.materialized ? series.data() : nullptr,
-                      options.summary.series_length, record.data());
-      COCONUT_RETURN_IF_ERROR(sorter.Add(record.data()));
-      position += series_bytes;
+    while (true) {
+      size_t filled = 0;
+      while (filled < stride &&
+             scanner.Next(series_buf.data() + filled * series_len, &st)) {
+        ++filled;
+      }
+      COCONUT_RETURN_IF_ERROR(st);
+      if (filled == 0) break;
+      const auto summarize = [&](uint64_t lo, uint64_t hi) {
+        std::vector<double> paa(options.summary.segments);
+        std::vector<uint8_t> sax(options.summary.segments);
+        for (uint64_t i = lo; i < hi; ++i) {
+          const Value* s = series_buf.data() + i * series_len;
+          PaaTransform(s, series_len, options.summary.segments, paa.data());
+          SaxFromPaa(paa.data(), options.summary, sax.data());
+          const ZKey key = InvSaxFromSax(sax.data(), options.summary);
+          EncodeLeafEntry(key, position + i * series_bytes,
+                          options.materialized ? s : nullptr, series_len,
+                          records.data() + i * entry_bytes);
+        }
+      };
+      if (serial) {
+        summarize(0, filled);
+      } else {
+        ThreadPool::Shared()->ParallelFor(0, filled, /*grain=*/0, summarize);
+      }
+      for (size_t i = 0; i < filled; ++i) {
+        COCONUT_RETURN_IF_ERROR(sorter.Add(records.data() + i * entry_bytes));
+      }
+      position += filled * series_bytes;
+      if (filled < stride) break;  // scanner exhausted
     }
-    COCONUT_RETURN_IF_ERROR(st);
   }
   out_stats->summarize_seconds = watch.ElapsedSeconds();
 

@@ -9,6 +9,7 @@
 
 #include "src/common/env.h"
 #include "src/common/timer.h"
+#include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/core/tree_format.h"
 #include "src/io/buffered_io.h"
@@ -510,7 +511,7 @@ Status CoconutTrie::ReadPage(uint64_t page, std::vector<uint8_t>* buf,
 }
 
 Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
-                                 SearchResult* result) {
+                                 SearchResult* result, size_t k) {
   if (num_pages == 0) num_pages = 1;
   const SummaryOptions& sum = options_.summary;
   std::vector<double> paa(sum.segments);
@@ -527,8 +528,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   uint64_t hi = std::min<uint64_t>(super_.num_pages - 1, lo + num_pages - 1);
   lo = (hi + 1 >= num_pages) ? hi + 1 - num_pages : 0;
 
-  double best_sq = std::numeric_limits<double>::infinity();
-  uint64_t best_offset = 0;
+  KnnCollector knn(k);
   uint64_t visited = 0;
   std::vector<uint8_t> page;
   const size_t n = sum.series_length;
@@ -540,23 +540,20 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
       double d;
       if (options_.materialized) {
         d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry), query, n,
-                                         best_sq);
+                                         knn.bound_sq());
       } else {
         fetch_buf_.resize(n);
         COCONUT_RETURN_IF_ERROR(
             raw_file_->ReadAt(DecodeLeafEntryOffset(entry),
                               fetch_buf_.data()));
-        d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n, best_sq);
+        d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                                         knn.bound_sq());
       }
       ++visited;
-      if (d < best_sq) {
-        best_sq = d;
-        best_offset = DecodeLeafEntryOffset(entry);
-      }
+      knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   }
-  result->offset = best_offset;
-  result->distance = std::sqrt(best_sq);
+  knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
   return Status::OK();
@@ -598,13 +595,13 @@ size_t CoconutTrie::LeafIndexForEntry(uint64_t i) const {
 }
 
 Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
-                                SearchResult* result) {
+                                SearchResult* result, size_t k) {
   COCONUT_RETURN_IF_ERROR(EnsureSimsLoaded());
 
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_pages, &approx));
-  double bsf_sq = approx.distance * approx.distance;
-  uint64_t best_offset = approx.offset;
+  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_pages, &approx, k));
+  KnnCollector knn(k);
+  knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
   std::vector<double> paa(sum.segments);
@@ -621,7 +618,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
     uint64_t cached_page = std::numeric_limits<uint64_t>::max();
     size_t cached_cnt = 0;
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
-      if (mindists[i] >= bsf_sq) continue;
+      if (mindists[i] >= knn.bound_sq()) continue;
       const Node& leaf = nodes_[leaf_order_[LeafIndexForEntry(i)]];
       const uint64_t in_leaf = i - leaf.entry_begin;
       const uint64_t pg = leaf.first_page + in_leaf / super_.leaf_capacity;
@@ -633,32 +630,25 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
         ++pages_read;
       }
       const uint8_t* entry = page.data() + slot * super_.entry_bytes;
-      const double d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry),
-                                                    query, series_len, bsf_sq);
+      const double d = SquaredEuclideanEarlyAbandon(
+          LeafEntrySeries(entry), query, series_len, knn.bound_sq());
       ++visited;
-      if (d < bsf_sq) {
-        bsf_sq = d;
-        best_offset = DecodeLeafEntryOffset(entry);
-      }
+      knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   } else {
     fetch_buf_.resize(series_len);
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
-      if (mindists[i] >= bsf_sq) continue;
+      if (mindists[i] >= knn.bound_sq()) continue;
       COCONUT_RETURN_IF_ERROR(
           raw_file_->ReadAt(sims_offsets_[i], fetch_buf_.data()));
-      const double d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query,
-                                                    series_len, bsf_sq);
+      const double d = SquaredEuclideanEarlyAbandon(
+          fetch_buf_.data(), query, series_len, knn.bound_sq());
       ++visited;
-      if (d < bsf_sq) {
-        bsf_sq = d;
-        best_offset = sims_offsets_[i];
-      }
+      knn.Offer(sims_offsets_[i], d);
     }
   }
 
-  result->offset = best_offset;
-  result->distance = std::sqrt(bsf_sq);
+  knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + pages_read;
   return Status::OK();

@@ -87,15 +87,15 @@ class CoconutTrie {
                      const std::string& raw_path,
                      std::unique_ptr<CoconutTrie>* out);
 
-  /// Approximate search: descends to the most promising leaf and scans a
-  /// window of `num_pages` contiguous leaf pages around it.
+  /// Approximate k-NN search: descends to the most promising leaf and scans
+  /// a window of `num_pages` contiguous leaf pages around it.
   Status ApproxSearch(const Value* query, size_t num_pages,
-                      SearchResult* result);
+                      SearchResult* result, size_t k = 1);
 
-  /// Exact search via the SIMS skip-sequential scan (paper §4.2 "we employee
-  /// the SIMS algorithm" for exact search over the trie as well).
+  /// Exact k-NN search via the SIMS skip-sequential scan (paper §4.2 "we
+  /// employee the SIMS algorithm" for exact search over the trie as well).
   Status ExactSearch(const Value* query, size_t approx_pages,
-                     SearchResult* result);
+                     SearchResult* result, size_t k = 1);
 
   // --- introspection ---
   uint64_t num_entries() const { return super_.num_entries; }

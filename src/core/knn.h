@@ -1,0 +1,107 @@
+// Bounded max-heap collector for k-nearest-neighbor search. Every index's
+// search loop keeps the same shape it had for 1-NN — compute a (squared)
+// distance, compare against a best-so-far bound, update — except the scalar
+// bound is replaced by the k-th best distance held here. With k == 1 the
+// collector degenerates to exactly the old bsf_sq/best_offset pair.
+#ifndef COCONUT_CORE_KNN_H_
+#define COCONUT_CORE_KNN_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/coconut_options.h"
+
+namespace coconut {
+
+class KnnCollector {
+ public:
+  explicit KnnCollector(size_t k) : k_(k == 0 ? 1 : k) {
+    heap_.reserve(k_);
+  }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Squared distance of the current k-th best answer; +inf until k
+  /// candidates have been collected. Searches prune with
+  /// `lower_bound_sq >= bound_sq()` and early-abandon true distances at it.
+  double bound_sq() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().dist_sq;
+  }
+
+  /// Offers a candidate. Candidates are identified by their raw-file byte
+  /// offset; re-offering an offset already collected is a no-op, which makes
+  /// it safe to seed a collector from an approximate pass and then re-scan
+  /// the same entries exactly. Returns true if the heap changed.
+  bool Offer(uint64_t offset, double dist_sq) {
+    if (heap_.size() == k_ && dist_sq >= heap_.front().dist_sq) return false;
+    for (const Entry& e : heap_) {
+      if (e.offset == offset) return false;
+    }
+    if (heap_.size() == k_) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+    heap_.push_back(Entry{dist_sq, offset});
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+
+  /// Merges another collector's candidates (e.g. per-run answers).
+  void Merge(const KnnCollector& other) {
+    for (const Entry& e : other.heap_) Offer(e.offset, e.dist_sq);
+  }
+
+  /// Seeds from a previous result's neighbor list.
+  void Seed(const SearchResult& result) {
+    for (const Neighbor& nb : result.neighbors) {
+      Offer(nb.offset, nb.distance * nb.distance);
+    }
+  }
+
+  /// Writes the collected neighbors (ascending distance) into `result`,
+  /// keeping the legacy top-1 fields in sync. visited/leaves counters are
+  /// left untouched for the caller to fill.
+  void Finalize(SearchResult* result) const {
+    std::vector<Entry> sorted = heap_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.dist_sq < b.dist_sq ||
+                       (a.dist_sq == b.dist_sq && a.offset < b.offset);
+              });
+    result->neighbors.clear();
+    result->neighbors.reserve(sorted.size());
+    for (const Entry& e : sorted) {
+      result->neighbors.push_back(
+          Neighbor{e.offset, std::sqrt(e.dist_sq)});
+    }
+    if (!result->neighbors.empty()) {
+      result->offset = result->neighbors.front().offset;
+      result->distance = result->neighbors.front().distance;
+    } else {
+      result->offset = 0;
+      result->distance = std::numeric_limits<double>::infinity();
+    }
+  }
+
+ private:
+  struct Entry {
+    double dist_sq;
+    uint64_t offset;
+    // Max-heap by distance: std::push_heap keeps the largest on top.
+    bool operator<(const Entry& other) const {
+      return dist_sq < other.dist_sq;
+    }
+  };
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_CORE_KNN_H_

@@ -1,8 +1,8 @@
 #include "src/core/sims_common.h"
 
 #include <algorithm>
-#include <thread>
 
+#include "src/exec/thread_pool.h"
 #include "src/summary/mindist.h"
 
 namespace coconut {
@@ -12,21 +12,21 @@ void ParallelMindists(const double* query_paa, const uint8_t* sax_array,
                       std::vector<double>* out) {
   out->resize(n);
   if (threads == 0) threads = 1;
-  std::vector<std::thread> pool;
-  const uint64_t chunk = (n + threads - 1) / threads;
   const size_t w = opts.segments;
   double* dst = out->data();
-  for (unsigned t = 0; t < threads; ++t) {
-    const uint64_t begin = t * chunk;
-    const uint64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([=, &opts]() {
-      for (uint64_t i = begin; i < end; ++i) {
-        dst[i] = MindistSqPaaToSax(query_paa, sax_array + i * w, opts);
-      }
-    });
+  const auto body = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      dst[i] = MindistSqPaaToSax(query_paa, sax_array + i * w, opts);
+    }
+  };
+  if (threads == 1 || n < 2) {
+    body(0, n);  // serial fallback: no pool round-trip for 1-thread configs
+    return;
   }
-  for (std::thread& th : pool) th.join();
+  // Route through the shared pool instead of spawning std::threads per
+  // query; `threads` bounds the chunking, the pool bounds the parallelism.
+  const uint64_t grain = std::max<uint64_t>(1, (n + threads - 1) / threads);
+  ThreadPool::Shared()->ParallelFor(0, n, grain, body);
 }
 
 }  // namespace coconut

@@ -1,0 +1,79 @@
+#include "src/exec/query_engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace coconut {
+
+namespace {
+
+/// Runs `one(i, scratch)` for every query index on the pool, collecting the
+/// first failure. Chunks share a per-chunk scratch; the chunk size keeps a
+/// few chunks per thread for load balancing without allocating scratch per
+/// query.
+template <typename Fn>
+Status RunBatch(ThreadPool* pool, size_t num_queries, const Fn& one) {
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  pool->ParallelFor(
+      0, num_queries, /*grain=*/0,
+      [&](uint64_t lo, uint64_t hi) {
+        CoconutTree::QueryScratch scratch;
+        for (uint64_t i = lo; i < hi; ++i) {
+          Status st = one(i, &scratch);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = st;
+            return;
+          }
+        }
+      });
+  return first_error;
+}
+
+}  // namespace
+
+Status QueryEngine::ExecuteBatch(const CoconutTree& tree,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  results->assign(queries.size(), SearchResult{});
+  return RunBatch(
+      pool_, queries.size(),
+      [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
+        const Value* q = queries[i].data();
+        SearchResult* r = &(*results)[i];
+        return spec.mode == QuerySpec::Mode::kExact
+                   ? tree.ExactSearch(q, spec.approx_leaves, r, spec.k,
+                                      scratch)
+                   : tree.ApproxSearch(q, spec.approx_leaves, r, spec.k,
+                                       scratch);
+      });
+}
+
+Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  return ExecuteBatch(forest, forest.GetSnapshot(), queries, spec, results);
+}
+
+Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
+                                 const CoconutForest::Snapshot& snapshot,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  results->assign(queries.size(), SearchResult{});
+  return RunBatch(
+      pool_, queries.size(),
+      [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
+        const Value* q = queries[i].data();
+        SearchResult* r = &(*results)[i];
+        return spec.mode == QuerySpec::Mode::kExact
+                   ? forest.ExactSearch(snapshot, q, r, spec.k, scratch)
+                   : forest.ApproxSearch(snapshot, q, spec.approx_leaves, r,
+                                         spec.k, scratch);
+      });
+}
+
+}  // namespace coconut

@@ -1,0 +1,73 @@
+// QueryEngine: concurrent batch execution of approximate/exact k-NN queries
+// over Coconut indexes.
+//
+// A batch is distributed over the shared ThreadPool; each worker carries a
+// per-thread CoconutTree::QueryScratch so the (const, thread-safe) tree read
+// paths never contend on shared buffers. Forest batches take ONE snapshot up
+// front, so every query in the batch observes the same point-in-time state
+// while writers keep inserting/flushing/compacting underneath.
+//
+// Results are positionally aligned with the input queries and identical to
+// running the same queries serially (the engine only parallelizes across
+// queries; each individual query is the ordinary search algorithm).
+#ifndef COCONUT_EXEC_QUERY_ENGINE_H_
+#define COCONUT_EXEC_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/coconut_forest.h"
+#include "src/core/coconut_tree.h"
+#include "src/exec/thread_pool.h"
+#include "src/series/series.h"
+
+namespace coconut {
+
+/// What to run for every query in a batch.
+struct QuerySpec {
+  enum class Mode { kExact, kApprox };
+  Mode mode = Mode::kExact;
+  /// Neighbors to return per query.
+  size_t k = 1;
+  /// Leaf-window radius: the window for kApprox, the seeding radius for
+  /// kExact.
+  size_t approx_leaves = 1;
+};
+
+class QueryEngine {
+ public:
+  /// Uses the given pool (defaults to the process-wide shared pool).
+  explicit QueryEngine(ThreadPool* pool = ThreadPool::Shared())
+      : pool_(pool) {}
+
+  /// Runs every query against `tree`; `results` is resized to match
+  /// `queries` and results are positionally aligned. On error the first
+  /// failing status is returned (remaining queries may or may not have run).
+  Status ExecuteBatch(const CoconutTree& tree,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+  /// Snapshot-isolated batch over a forest: takes one snapshot and runs
+  /// every query against it, concurrently with any writers.
+  Status ExecuteBatch(const CoconutForest& forest,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+  /// Same, against a caller-held snapshot (e.g. to run several batches
+  /// against the exact same state).
+  Status ExecuteBatch(const CoconutForest& forest,
+                      const CoconutForest::Snapshot& snapshot,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_EXEC_QUERY_ENGINE_H_

@@ -1,0 +1,159 @@
+#include "src/exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace coconut {
+
+namespace {
+
+unsigned ResolveThreads(unsigned threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 4;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = ResolveThreads(threads);
+  workers_.reserve(total > 0 ? total - 1 : 0);
+  for (unsigned i = 1; i < total; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+/// Shared chunk cursor for one ParallelFor invocation. Heap-allocated and
+/// shared_ptr-owned so that helper tasks left in the queue after completion
+/// (they find no chunks left) never touch freed state.
+struct ThreadPool::ForState {
+  uint64_t begin = 0;
+  uint64_t grain = 1;
+  uint64_t num_chunks = 0;
+  const std::function<void(uint64_t, uint64_t)>* body = nullptr;
+  std::atomic<uint64_t> next_chunk{0};
+  std::atomic<uint64_t> done_chunks{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  uint64_t end() const { return begin + grain * num_chunks; }
+
+  /// Claims and runs chunks until the cursor is exhausted; returns the
+  /// number of chunks this thread completed.
+  uint64_t Drain(uint64_t range_end) {
+    uint64_t ran = 0;
+    while (true) {
+      const uint64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const uint64_t lo = begin + c * grain;
+      const uint64_t hi = std::min(range_end, lo + grain);
+      (*body)(lo, hi);
+      ++ran;
+    }
+    if (ran > 0) {
+      const uint64_t total =
+          done_chunks.fetch_add(ran, std::memory_order_acq_rel) + ran;
+      if (total == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+    return ran;
+  }
+};
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (end <= begin) return;
+  const uint64_t n = end - begin;
+  const unsigned par = parallelism();
+  if (grain == 0) {
+    // A few chunks per thread for load balancing, but at least 1 element.
+    grain = std::max<uint64_t>(1, n / (uint64_t{par} * 4));
+  }
+  const uint64_t num_chunks = (n + grain - 1) / grain;
+  if (workers_.empty() || num_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  // Offer helper tasks to the pool (at most one per worker and never more
+  // than the chunk count); each helper drains chunks until none remain.
+  // `body` stays alive because the caller blocks below until all chunks are
+  // done, and late-running helpers that find the cursor exhausted return
+  // without dereferencing it.
+  const uint64_t helpers =
+      std::min<uint64_t>(workers_.size(), num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t i = 0; i < helpers; ++i) {
+      queue_.push_back([state, end]() { state->Drain(end); });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller participates; this guarantees forward progress even when all
+  // workers are busy with other (possibly enclosing) tasks.
+  state->Drain(end);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&]() {
+    return state->done_chunks.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = []() {
+    unsigned threads = 0;
+    if (const char* env = std::getenv("COCONUT_THREADS")) {
+      threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    }
+    return new ThreadPool(threads);
+  }();
+  return pool;
+}
+
+}  // namespace coconut

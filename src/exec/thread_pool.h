@@ -1,0 +1,87 @@
+// Shared work-queue thread pool for the query-execution subsystem.
+//
+// One pool is shared by every parallel stage in the library (SIMS
+// lower-bound scans, the builder's summarize phase, QueryEngine batches)
+// instead of spawning fresh std::threads per operation. Two usage styles:
+//
+//  * Async(fn)      — submit a task, get a std::future for its result.
+//  * ParallelFor    — split [begin, end) into chunks and run them on the
+//    pool. The *calling thread participates*: chunks are claimed from a
+//    shared atomic cursor by both pool workers and the caller, so nested
+//    ParallelFor calls (e.g. a QueryEngine worker running a per-query SIMS
+//    scan) can never deadlock even when every pool worker is busy — the
+//    caller simply executes its own chunks.
+//
+// A pool constructed with `threads <= 1` has no workers; ParallelFor and
+// Submit degenerate to serial inline execution (the configured serial
+// fallback for num_threads == 1).
+#ifndef COCONUT_EXEC_THREAD_POOL_H_
+#define COCONUT_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace coconut {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the caller of ParallelFor:
+  /// the pool spawns `threads - 1` workers. 0 means hardware concurrency.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread), always >= 1.
+  unsigned parallelism() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Enqueues `fn` for execution by a worker. With no workers the task runs
+  /// inline. Tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Submits a callable and returns a future for its result.
+  template <typename F>
+  auto Async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs `body(lo, hi)` over chunked subranges of [begin, end); blocks until
+  /// every chunk completed. `grain` is the preferred chunk size (0 = pick
+  /// one that gives each thread a few chunks). The caller participates in
+  /// chunk execution, so this is safe to call from inside pool tasks.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+  /// Process-wide pool sized to hardware concurrency (overridable with the
+  /// COCONUT_THREADS environment variable). Never destroyed.
+  static ThreadPool* Shared();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_EXEC_THREAD_POOL_H_

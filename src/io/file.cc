@@ -35,7 +35,10 @@ Status RandomAccessFile::Open(const std::string& path,
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, void* buf) {
-  const bool random = (offset != next_sequential_offset_);
+  // Classification is best-effort under concurrency: the tracker holds the
+  // end offset of whichever read on this handle updated it last.
+  const bool random =
+      (offset != next_sequential_offset_.load(std::memory_order_relaxed));
   uint8_t* dst = static_cast<uint8_t*>(buf);
   size_t remaining = n;
   uint64_t pos = offset;
@@ -52,7 +55,7 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n, void* buf) {
     pos += static_cast<uint64_t>(r);
     remaining -= static_cast<size_t>(r);
   }
-  next_sequential_offset_ = offset + n;
+  next_sequential_offset_.store(offset + n, std::memory_order_relaxed);
   IoStats::Instance().RecordRead(n, random);
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #ifndef COCONUT_IO_FILE_H_
 #define COCONUT_IO_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -14,6 +15,8 @@ namespace coconut {
 
 /// Read-only file with positional reads. Reads are classified as sequential
 /// when they start exactly at the end of the previous read on this handle.
+/// Read is safe to call from multiple threads concurrently (pread-based; the
+/// sequentiality tracker is atomic).
 class RandomAccessFile {
  public:
   ~RandomAccessFile();
@@ -39,7 +42,7 @@ class RandomAccessFile {
   std::string path_;
   int fd_;
   uint64_t size_;
-  uint64_t next_sequential_offset_ = 0;
+  std::atomic<uint64_t> next_sequential_offset_{0};
 };
 
 /// Append-oriented writable file with optional positional overwrite (used for
