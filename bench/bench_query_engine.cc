@@ -1,16 +1,23 @@
 // QueryEngine throughput: batched exact k-NN search over a multi-run
-// CoconutForest, executed on thread pools of increasing size. The expected
-// shape is throughput scaling with thread count up to the hardware's
-// parallelism (on a single-core container the parallel rows mainly
-// demonstrate that concurrency adds no correctness or large scheduling
-// cost).
+// CoconutForest, executed on thread pools of increasing size, then over a
+// ShardedStore with increasing shard counts (cross-shard fan-out). The
+// expected shape is throughput scaling with thread count up to the
+// hardware's parallelism (on a single-core container the parallel rows
+// mainly demonstrate that concurrency adds no correctness or large
+// scheduling cost).
+//
+// Set COCONUT_BENCH_JSON=<path> to also write the measurements as a JSON
+// array (one object per row) for trajectory tracking in CI.
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
+#include "src/store/sharded_store.h"
 
 namespace coconut {
 namespace bench {
@@ -19,21 +26,57 @@ namespace {
 constexpr size_t kLength = 256;
 constexpr size_t kBatch = 64;
 
-void Run() {
-  Banner("bench_query_engine",
-         "batched exact search throughput vs thread count");
-  const size_t count = 20000 * Scale();
+struct JsonRow {
+  std::string section;
+  uint64_t param;  // threads or shards
+  double seconds;
+  double qps;
+};
 
-  BenchDir dir;
+void WriteJson(const std::vector<JsonRow>& rows) {
+  const char* path = std::getenv("COCONUT_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for JSON output\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"bench\": \"bench_query_engine\", \"section\": \"%s\", "
+                 "\"param\": %llu, \"batch\": %zu, \"seconds\": %.6f, "
+                 "\"queries_per_s\": %.1f}%s\n",
+                 rows[i].section.c_str(),
+                 static_cast<unsigned long long>(rows[i].param), kBatch,
+                 rows[i].seconds, rows[i].qps,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", path);
+}
+
+ForestOptions BaseForestOptions(const BenchDir& dir) {
   ForestOptions opts;
   opts.tree.summary.series_length = kLength;
   opts.tree.leaf_capacity = 512;
   opts.tree.tmp_dir = dir.path();
   opts.tree.num_threads = 1;  // per-query SIMS stays serial: we measure
-                              // cross-query parallelism only
+                              // cross-query/cross-shard parallelism only
   opts.memtable_series = 2048;
   opts.max_runs = 16;  // keep several runs: the realistic serving shape
+  return opts;
+}
 
+void Run() {
+  Banner("bench_query_engine",
+         "batched exact search throughput vs thread count and shard count");
+  const size_t count = 20000 * Scale();
+  std::vector<JsonRow> json;
+
+  BenchDir dir;
+  const ForestOptions opts = BaseForestOptions(dir);
   const std::string raw = PrepareDataset(dir, DatasetKind::kRandomWalk,
                                          count, kLength, 23, "data.bin");
   std::unique_ptr<CoconutForest> forest;
@@ -61,6 +104,7 @@ void Run() {
     CheckOk(engine.ExecuteBatch(*forest, queries, spec, &results), "warmup");
   }
 
+  std::printf("-- forest: thread sweep --\n");
   PrintHeader({"threads", "batch_time", "queries/s", "speedup"});
   double serial_seconds = 0.0;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -74,11 +118,46 @@ void Run() {
     PrintRow({FmtCount(threads), FmtSeconds(secs),
               FmtDouble(kBatch / secs, 1),
               FmtDouble(serial_seconds / secs, 2) + "x"});
+    json.push_back(JsonRow{"forest_threads", threads, secs, kBatch / secs});
   }
+
+  // Shard-count sweep: the same data in a ShardedStore with 1/2/4 shards,
+  // queried through the store-aware engine path (query x shard fan-out).
+  std::printf("\n-- sharded store: shard sweep (4 threads) --\n");
+  PrintHeader({"shards", "batch_time", "queries/s", "speedup"});
+  const std::vector<Series> data =
+      MakeQueries(DatasetKind::kRandomWalk, count, kLength, 23);
+  double one_shard_seconds = 0.0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    StoreOptions sopts;
+    sopts.forest = BaseForestOptions(dir);
+    sopts.num_shards = shards;
+    std::unique_ptr<ShardedStore> store;
+    CheckOk(ShardedStore::Open(
+                dir.File("store-" + std::to_string(shards)), sopts, &store),
+            "store open");
+    CheckOk(store->InsertBatch(data), "store insert");
+    ThreadPool pool(4);
+    QueryEngine engine(&pool);
+    std::vector<SearchResult> results;
+    // Warm every shard's SIMS arrays.
+    CheckOk(engine.ExecuteBatch(*store, queries, spec, &results), "warmup");
+    Stopwatch w;
+    CheckOk(engine.ExecuteBatch(*store, queries, spec, &results), "batch");
+    const double secs = w.ElapsedSeconds();
+    if (shards == 1) one_shard_seconds = secs;
+    PrintRow({FmtCount(shards), FmtSeconds(secs),
+              FmtDouble(kBatch / secs, 1),
+              FmtDouble(one_shard_seconds / secs, 2) + "x"});
+    json.push_back(JsonRow{"store_shards", shards, secs, kBatch / secs});
+  }
+
   std::printf(
-      "\nExpectation: queries/s grows with the thread count until the\n"
-      "hardware's core count; results are identical across rows (same\n"
-      "snapshot, same per-query algorithm).\n");
+      "\nExpectation: queries/s grows with threads (and stays roughly flat\n"
+      "or improves with shard count at fixed threads) until the hardware's\n"
+      "core count; results are identical across rows (same snapshot, same\n"
+      "per-query algorithm).\n");
+  WriteJson(json);
 }
 
 }  // namespace

@@ -6,8 +6,9 @@
 // buffer fills, it is sorted by invSAX and bulk-loaded as an immutable
 // Coconut-Tree run — a sequential write, exactly like an LSM level flush.
 // When the number of runs exceeds the configured threshold, all runs are
-// merged into one (tiered full compaction): a single sequential pass, since
-// every run is already in invSAX order.
+// merged into one (tiered full compaction). Every run is already in invSAX
+// order, so the merge partitions the key space into chunks and merges the
+// chunks concurrently on the shared ThreadPool.
 //
 // Queries consult the buffer plus every run; exact search merges the
 // per-run exact k-NN answers (each run's SIMS scan is exact over its data
@@ -34,6 +35,7 @@
 #ifndef COCONUT_CORE_COCONUT_FOREST_H_
 #define COCONUT_CORE_COCONUT_FOREST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -135,9 +137,32 @@ class CoconutForest {
 
   /// Flushes the memtable; requires writer_mu_ held.
   Status FlushWriterLocked();
-  /// Full compaction; requires writer_mu_ held.
+  /// Full compaction; requires writer_mu_ held. The heavy runs-merge is
+  /// chunked over the shared ThreadPool and asserts it never executes while
+  /// this thread holds the reader-visible state lock.
   Status CompactWriterLocked();
+  /// Parallel k-way merge of the (sorted) leaf entries of `inputs` into one
+  /// contiguous sorted record buffer; requires writer_mu_ held, state_mu_
+  /// NOT held.
+  Status MergeRunsParallel(
+      const std::vector<std::shared_ptr<const CoconutTree>>& inputs,
+      std::vector<uint8_t>* out) const;
   std::string RunPath(uint64_t id) const;
+
+  /// RAII exclusive lock on state_mu_ that also maintains the debug flag
+  /// the heavy-work assertions check (writers are serialized by writer_mu_,
+  /// so a set flag always means *this* thread holds the lock).
+  struct StateWriteLock {
+    explicit StateWriteLock(const CoconutForest* f)
+        : forest(f), lock(f->state_mu_) {
+      f->state_write_locked_.store(true, std::memory_order_relaxed);
+    }
+    ~StateWriteLock() {
+      forest->state_write_locked_.store(false, std::memory_order_relaxed);
+    }
+    const CoconutForest* forest;
+    std::unique_lock<std::shared_mutex> lock;
+  };
 
   ForestOptions options_;
   std::string raw_path_;
@@ -155,6 +180,10 @@ class CoconutForest {
   std::shared_ptr<std::vector<MemEntry>> memtable_;
   size_t memtable_count_ = 0;
   std::vector<std::shared_ptr<const CoconutTree>> runs_;
+  // Debug-only invariant tracking: true while this object's (single,
+  // writer_mu_-serialized) writer holds state_mu_ exclusively. Heavy merge
+  // work asserts this is false — readers must never wait on a merge.
+  mutable std::atomic<bool> state_write_locked_{false};
 };
 
 }  // namespace coconut

@@ -493,7 +493,7 @@ int64_t CoconutTrie::DescendToLeaf(const ZKey& key) const {
 }
 
 Status CoconutTrie::ReadPage(uint64_t page, std::vector<uint8_t>* buf,
-                             size_t* entry_count) {
+                             size_t* entry_count) const {
   if (page >= super_.num_pages) {
     return Status::InvalidArgument("page index out of range");
   }
@@ -511,14 +511,22 @@ Status CoconutTrie::ReadPage(uint64_t page, std::vector<uint8_t>* buf,
 }
 
 Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
-                                 SearchResult* result, size_t k) {
+                                 SearchResult* result, size_t k) const {
+  QueryScratch scratch;
+  return ApproxSearch(query, num_pages, result, k, &scratch);
+}
+
+Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
+                                 SearchResult* result, size_t k,
+                                 QueryScratch* scratch) const {
   if (num_pages == 0) num_pages = 1;
   const SummaryOptions& sum = options_.summary;
-  std::vector<double> paa(sum.segments);
-  PaaTransform(query, sum.series_length, sum.segments, paa.data());
-  std::vector<uint8_t> sax(sum.segments);
-  SaxFromPaa(paa.data(), sum, sax.data());
-  const ZKey key = InvSaxFromSax(sax.data(), sum);
+  scratch->paa.resize(sum.segments);
+  double* paa = scratch->paa.data();
+  PaaTransform(query, sum.series_length, sum.segments, paa);
+  scratch->sax.resize(sum.segments);
+  SaxFromPaa(paa, sum, scratch->sax.data());
+  const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
   const int64_t leaf_id = DescendToLeaf(key);
   if (leaf_id < 0) return Status::Internal("empty trie");
@@ -530,7 +538,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
 
   KnnCollector knn(k);
   uint64_t visited = 0;
-  std::vector<uint8_t> page;
+  std::vector<uint8_t>& page = scratch->page;
   const size_t n = sum.series_length;
   for (uint64_t p = lo; p <= hi; ++p) {
     size_t cnt;
@@ -542,11 +550,11 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
         d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry), query, n,
                                          knn.bound_sq());
       } else {
-        fetch_buf_.resize(n);
+        scratch->fetch.resize(n);
         COCONUT_RETURN_IF_ERROR(
             raw_file_->ReadAt(DecodeLeafEntryOffset(entry),
-                              fetch_buf_.data()));
-        d = SquaredEuclideanEarlyAbandon(fetch_buf_.data(), query, n,
+                              scratch->fetch.data()));
+        d = SquaredEuclideanEarlyAbandon(scratch->fetch.data(), query, n,
                                          knn.bound_sq());
       }
       ++visited;
@@ -559,8 +567,14 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   return Status::OK();
 }
 
-Status CoconutTrie::EnsureSimsLoaded() {
-  if (sims_loaded_) return Status::OK();
+Status CoconutTrie::EnsureSimsLoaded() const {
+  // Load-once latch (same shape as CoconutTree::EnsureSimsLoaded): the
+  // first exact query loads the sidecar; concurrent callers block on the
+  // mutex and find sims_loaded_ set. The arrays are immutable afterwards,
+  // so the steady state is a lock-free acquire-load.
+  if (sims_loaded_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(sims_mu_);
+  if (sims_loaded_.load(std::memory_order_relaxed)) return Status::OK();
   const size_t w = options_.summary.segments;
   const uint64_t n = super_.num_entries;
   BufferedReader reader;
@@ -576,7 +590,7 @@ Status CoconutTrie::EnsureSimsLoaded() {
     std::memcpy(sims_sax_.data() + i * w, rec.data(), w);
     std::memcpy(&sims_offsets_[i], rec.data() + w, 8);
   }
-  sims_loaded_ = true;
+  sims_loaded_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -595,26 +609,34 @@ size_t CoconutTrie::LeafIndexForEntry(uint64_t i) const {
 }
 
 Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
-                                SearchResult* result, size_t k) {
+                                SearchResult* result, size_t k) const {
+  QueryScratch scratch;
+  return ExactSearch(query, approx_pages, result, k, &scratch);
+}
+
+Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
+                                SearchResult* result, size_t k,
+                                QueryScratch* scratch) const {
   COCONUT_RETURN_IF_ERROR(EnsureSimsLoaded());
 
   SearchResult approx;
-  COCONUT_RETURN_IF_ERROR(ApproxSearch(query, approx_pages, &approx, k));
+  COCONUT_RETURN_IF_ERROR(
+      ApproxSearch(query, approx_pages, &approx, k, scratch));
   KnnCollector knn(k);
   knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
-  std::vector<double> paa(sum.segments);
-  PaaTransform(query, sum.series_length, sum.segments, paa.data());
-  std::vector<double> mindists;
-  ParallelMindists(paa.data(), sims_sax_.data(), super_.num_entries, sum,
-                   options_.EffectiveThreads(), &mindists);
+  scratch->paa.resize(sum.segments);
+  PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
+  std::vector<double>& mindists = scratch->mindists;
+  ParallelMindists(scratch->paa.data(), sims_sax_.data(), super_.num_entries,
+                   sum, options_.EffectiveThreads(), &mindists);
 
   uint64_t visited = 0;
   uint64_t pages_read = 0;
   const size_t series_len = sum.series_length;
   if (options_.materialized) {
-    std::vector<uint8_t> page;
+    std::vector<uint8_t>& page = scratch->page;
     uint64_t cached_page = std::numeric_limits<uint64_t>::max();
     size_t cached_cnt = 0;
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
@@ -636,13 +658,13 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
       knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   } else {
-    fetch_buf_.resize(series_len);
+    scratch->fetch.resize(series_len);
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
       if (mindists[i] >= knn.bound_sq()) continue;
       COCONUT_RETURN_IF_ERROR(
-          raw_file_->ReadAt(sims_offsets_[i], fetch_buf_.data()));
+          raw_file_->ReadAt(sims_offsets_[i], scratch->fetch.data()));
       const double d = SquaredEuclideanEarlyAbandon(
-          fetch_buf_.data(), query, series_len, knn.bound_sq());
+          scratch->fetch.data(), query, series_len, knn.bound_sq());
       ++visited;
       knn.Offer(sims_offsets_[i], d);
     }

@@ -22,8 +22,10 @@
 #ifndef COCONUT_CORE_COCONUT_TRIE_H_
 #define COCONUT_CORE_COCONUT_TRIE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -76,6 +78,19 @@ struct TrieSuperblock {
 
 class CoconutTrie {
  public:
+  /// Reusable per-caller scratch for the query paths (mirrors
+  /// CoconutTree::QueryScratch): queries allocate one internally when none
+  /// is supplied; batch executors pass one per worker. Replaces the old
+  /// shared mutable fetch buffer, so the query paths are const and safe to
+  /// call concurrently from many threads.
+  struct QueryScratch {
+    std::vector<Value> fetch;      // raw-series fetch buffer
+    std::vector<uint8_t> page;     // leaf page buffer
+    std::vector<double> paa;       // query PAA
+    std::vector<uint8_t> sax;      // query SAX word
+    std::vector<double> mindists;  // SIMS lower bounds
+  };
+
   /// Builds the trie index over `raw_path` into `index_path` (plus a
   /// `<index_path>.sax` sidecar). Algorithm 2 of the paper.
   static Status Build(const std::string& raw_path,
@@ -90,12 +105,18 @@ class CoconutTrie {
   /// Approximate k-NN search: descends to the most promising leaf and scans
   /// a window of `num_pages` contiguous leaf pages around it.
   Status ApproxSearch(const Value* query, size_t num_pages,
-                      SearchResult* result, size_t k = 1);
+                      SearchResult* result, size_t k = 1) const;
+  Status ApproxSearch(const Value* query, size_t num_pages,
+                      SearchResult* result, size_t k,
+                      QueryScratch* scratch) const;
 
   /// Exact k-NN search via the SIMS skip-sequential scan (paper §4.2 "we
   /// employee the SIMS algorithm" for exact search over the trie as well).
   Status ExactSearch(const Value* query, size_t approx_pages,
-                     SearchResult* result, size_t k = 1);
+                     SearchResult* result, size_t k = 1) const;
+  Status ExactSearch(const Value* query, size_t approx_pages,
+                     SearchResult* result, size_t k,
+                     QueryScratch* scratch) const;
 
   // --- introspection ---
   uint64_t num_entries() const { return super_.num_entries; }
@@ -128,11 +149,13 @@ class CoconutTrie {
   CoconutTrie() = default;
 
   Status LoadNodes();
-  Status EnsureSimsLoaded();
+  /// Loads the SIMS sidecar arrays once; concurrent callers block until the
+  /// first load finishes (same load-once latch as CoconutTree).
+  Status EnsureSimsLoaded() const;
   /// Leaf node id whose key range covers `key` (pure descent).
   int64_t DescendToLeaf(const ZKey& key) const;
   Status ReadPage(uint64_t page, std::vector<uint8_t>* buf,
-                  size_t* entry_count);
+                  size_t* entry_count) const;
   /// Leaf owning global entry index `i` (binary search over entry_begin).
   size_t LeafIndexForEntry(uint64_t i) const;
 
@@ -149,10 +172,14 @@ class CoconutTrie {
   std::vector<int64_t> leaf_order_;
   std::vector<uint64_t> page_owner_;  // page -> index into leaf_order_
 
-  bool sims_loaded_ = false;
-  std::vector<uint8_t> sims_sax_;
-  std::vector<uint64_t> sims_offsets_;
-  std::vector<Value> fetch_buf_;
+  // SIMS in-memory arrays, loaded lazily from the sidecar on first exact
+  // query. Immutable once sims_loaded_ is set (release-store after the
+  // arrays are filled; acquire-load fast path keeps the steady state
+  // lock-free); sims_mu_ serializes the one-time load.
+  mutable std::mutex sims_mu_;
+  mutable std::atomic<bool> sims_loaded_{false};
+  mutable std::vector<uint8_t> sims_sax_;
+  mutable std::vector<uint64_t> sims_offsets_;
 };
 
 }  // namespace coconut

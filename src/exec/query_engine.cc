@@ -7,18 +7,18 @@ namespace coconut {
 
 namespace {
 
-/// Runs `one(i, scratch)` for every query index on the pool, collecting the
-/// first failure. Chunks share a per-chunk scratch; the chunk size keeps a
-/// few chunks per thread for load balancing without allocating scratch per
-/// query.
-template <typename Fn>
-Status RunBatch(ThreadPool* pool, size_t num_queries, const Fn& one) {
+/// Runs `one(i, scratch)` for every work index on the pool, collecting the
+/// first failure. Chunks share a per-chunk scratch (of type `Scratch`); the
+/// chunk size keeps a few chunks per thread for load balancing without
+/// allocating scratch per query.
+template <typename Scratch, typename Fn>
+Status RunBatch(ThreadPool* pool, size_t num_items, const Fn& one) {
   Status first_error = Status::OK();
   std::mutex error_mu;
   pool->ParallelFor(
-      0, num_queries, /*grain=*/0,
+      0, num_items, /*grain=*/0,
       [&](uint64_t lo, uint64_t hi) {
-        CoconutTree::QueryScratch scratch;
+        Scratch scratch;
         for (uint64_t i = lo; i < hi; ++i) {
           Status st = one(i, &scratch);
           if (!st.ok()) {
@@ -38,7 +38,7 @@ Status QueryEngine::ExecuteBatch(const CoconutTree& tree,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results) const {
   results->assign(queries.size(), SearchResult{});
-  return RunBatch(
+  return RunBatch<CoconutTree::QueryScratch>(
       pool_, queries.size(),
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
@@ -64,7 +64,7 @@ Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results) const {
   results->assign(queries.size(), SearchResult{});
-  return RunBatch(
+  return RunBatch<CoconutTree::QueryScratch>(
       pool_, queries.size(),
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
@@ -74,6 +74,74 @@ Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                    : forest.ApproxSearch(snapshot, q, spec.approx_leaves, r,
                                          spec.k, scratch);
       });
+}
+
+Status QueryEngine::ExecuteBatch(const CoconutTrie& trie,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  results->assign(queries.size(), SearchResult{});
+  return RunBatch<CoconutTrie::QueryScratch>(
+      pool_, queries.size(),
+      [&](uint64_t i, CoconutTrie::QueryScratch* scratch) {
+        const Value* q = queries[i].data();
+        SearchResult* r = &(*results)[i];
+        return spec.mode == QuerySpec::Mode::kExact
+                   ? trie.ExactSearch(q, spec.approx_leaves, r, spec.k,
+                                      scratch)
+                   : trie.ApproxSearch(q, spec.approx_leaves, r, spec.k,
+                                       scratch);
+      });
+}
+
+Status QueryEngine::ExecuteBatch(const ShardedStore& store,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  return ExecuteBatch(store, store.GetSnapshot(), queries, spec, results);
+}
+
+Status QueryEngine::ExecuteBatch(const ShardedStore& store,
+                                 const ShardedStore::Snapshot& snapshot,
+                                 const std::vector<Series>& queries,
+                                 const QuerySpec& spec,
+                                 std::vector<SearchResult>* results) const {
+  results->assign(queries.size(), SearchResult{});
+  const size_t num_shards = snapshot.shards.size();
+  if (num_shards != store.num_shards()) {
+    return Status::InvalidArgument("snapshot shard count mismatch");
+  }
+  if (queries.empty()) return Status::OK();
+  if (snapshot.num_entries() == 0) return Status::NotFound("empty store");
+
+  // Cross-shard routing: the work grid is (query, shard) cells so a batch
+  // saturates the pool even when it is smaller than the thread count; each
+  // cell is an ordinary per-shard search against that shard's snapshot.
+  // Empty shards are skipped (their cell stays a default SearchResult,
+  // which merges as "no candidates").
+  std::vector<SearchResult> cells(queries.size() * num_shards);
+  COCONUT_RETURN_IF_ERROR(RunBatch<CoconutTree::QueryScratch>(
+      pool_, cells.size(),
+      [&](uint64_t cell, CoconutTree::QueryScratch* scratch) {
+        const size_t qi = static_cast<size_t>(cell) / num_shards;
+        const size_t si = static_cast<size_t>(cell) % num_shards;
+        if (snapshot.shards[si].num_entries() == 0) return Status::OK();
+        const Value* q = queries[qi].data();
+        SearchResult* r = &cells[cell];
+        const CoconutForest& shard = store.shard(si);
+        return spec.mode == QuerySpec::Mode::kExact
+                   ? shard.ExactSearch(snapshot.shards[si], q, r, spec.k,
+                                       scratch)
+                   : shard.ApproxSearch(snapshot.shards[si], q,
+                                        spec.approx_leaves, r, spec.k,
+                                        scratch);
+      }));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<SearchResult> per_shard(
+        cells.begin() + qi * num_shards, cells.begin() + (qi + 1) * num_shards);
+    ShardedStore::MergeShardResults(per_shard, spec.k, &(*results)[qi]);
+  }
+  return Status::OK();
 }
 
 }  // namespace coconut

@@ -2,14 +2,21 @@
 // over Coconut indexes.
 //
 // A batch is distributed over the shared ThreadPool; each worker carries a
-// per-thread CoconutTree::QueryScratch so the (const, thread-safe) tree read
-// paths never contend on shared buffers. Forest batches take ONE snapshot up
-// front, so every query in the batch observes the same point-in-time state
-// while writers keep inserting/flushing/compacting underneath.
+// per-thread scratch (CoconutTree::QueryScratch / CoconutTrie::QueryScratch)
+// so the (const, thread-safe) read paths never contend on shared buffers.
+// Forest batches take ONE snapshot up front, so every query in the batch
+// observes the same point-in-time state while writers keep
+// inserting/flushing/compacting underneath. Store batches do the same with
+// one ShardedStore::Snapshot, and additionally fan each query out across
+// the per-shard snapshots: the work grid is (query x shard) cells under
+// ParallelFor, with per-query results merged through KnnCollector
+// (ShardedStore::MergeShardResults), so even a single expensive query uses
+// every core.
 //
 // Results are positionally aligned with the input queries and identical to
 // running the same queries serially (the engine only parallelizes across
-// queries; each individual query is the ordinary search algorithm).
+// queries and shards; each individual per-shard query is the ordinary
+// search algorithm).
 #ifndef COCONUT_EXEC_QUERY_ENGINE_H_
 #define COCONUT_EXEC_QUERY_ENGINE_H_
 
@@ -19,8 +26,10 @@
 #include "src/common/status.h"
 #include "src/core/coconut_forest.h"
 #include "src/core/coconut_tree.h"
+#include "src/core/coconut_trie.h"
 #include "src/exec/thread_pool.h"
 #include "src/series/series.h"
+#include "src/store/sharded_store.h"
 
 namespace coconut {
 
@@ -60,6 +69,27 @@ class QueryEngine {
   /// against the exact same state).
   Status ExecuteBatch(const CoconutForest& forest,
                       const CoconutForest::Snapshot& snapshot,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+  /// Runs every query against a (const, thread-safe) trie.
+  Status ExecuteBatch(const CoconutTrie& trie,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+  /// Store-wide snapshot-isolated batch: takes one ShardedStore::Snapshot
+  /// and fans every query out across the per-shard snapshots (the work
+  /// grid is query x shard), merging per-shard answers per query.
+  Status ExecuteBatch(const ShardedStore& store,
+                      const std::vector<Series>& queries,
+                      const QuerySpec& spec,
+                      std::vector<SearchResult>* results) const;
+
+  /// Same, against a caller-held store snapshot.
+  Status ExecuteBatch(const ShardedStore& store,
+                      const ShardedStore::Snapshot& snapshot,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results) const;

@@ -1,0 +1,147 @@
+#include "src/store/manifest.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/common/env.h"
+#include "src/io/file.h"
+
+namespace coconut {
+
+namespace {
+
+constexpr char kManifestHeader[] = "coconut-store-manifest v1";
+
+/// Parses a 64-hex-char big-endian key (the ZKey::ToHex format).
+Status KeyFromHex(const std::string& hex, ZKey* out) {
+  if (hex.size() != ZKey::kBytes * 2) {
+    return Status::Corruption("manifest: bad key width: " + hex);
+  }
+  uint8_t bytes[ZKey::kBytes];
+  for (size_t i = 0; i < ZKey::kBytes; ++i) {
+    unsigned v = 0;
+    for (size_t j = 0; j < 2; ++j) {
+      const char c = hex[i * 2 + j];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Status::Corruption("manifest: bad hex digit in key");
+      }
+    }
+    bytes[i] = static_cast<uint8_t>(v);
+  }
+  *out = ZKey::DeserializeBE(bytes);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StoreManifest::Validate() const {
+  if (version != 1) {
+    return Status::Corruption("manifest: unsupported version");
+  }
+  if (series_length == 0) {
+    return Status::Corruption("manifest: series_length must be > 0");
+  }
+  if (shards.empty()) {
+    return Status::Corruption("manifest: no shards");
+  }
+  if (!(shards.front().lower_bound == ZKey())) {
+    return Status::Corruption("manifest: shard 0 must start at the zero key");
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].dir.empty()) {
+      return Status::Corruption("manifest: empty shard dir");
+    }
+    if (i > 0 && !(shards[i - 1].lower_bound < shards[i].lower_bound)) {
+      return Status::Corruption(
+          "manifest: shard boundaries must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+bool StoreManifestExists(const std::string& store_dir) {
+  return FileExists(JoinPath(store_dir, kStoreManifestName));
+}
+
+Status WriteStoreManifest(const std::string& store_dir,
+                          const StoreManifest& manifest) {
+  COCONUT_RETURN_IF_ERROR(manifest.Validate());
+  std::ostringstream text;
+  text << kManifestHeader << "\n";
+  text << "series_length " << manifest.series_length << "\n";
+  text << "shards " << manifest.shards.size() << "\n";
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardInfo& s = manifest.shards[i];
+    text << "shard " << i << " " << s.lower_bound.ToHex() << " " << s.dir
+         << " " << s.entries << "\n";
+  }
+  const std::string body = text.str();
+
+  const std::string final_path = JoinPath(store_dir, kStoreManifestName);
+  const std::string tmp_path = final_path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  COCONUT_RETURN_IF_ERROR(WritableFile::Create(tmp_path, &file));
+  COCONUT_RETURN_IF_ERROR(file->Append(body.data(), body.size()));
+  COCONUT_RETURN_IF_ERROR(file->Sync());
+  COCONUT_RETURN_IF_ERROR(file->Close());
+  return RenameFile(tmp_path, final_path);
+}
+
+Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out) {
+  const std::string path = JoinPath(store_dir, kStoreManifestName);
+  std::unique_ptr<RandomAccessFile> file;
+  COCONUT_RETURN_IF_ERROR(RandomAccessFile::Open(path, &file));
+  std::string body(file->size(), '\0');
+  if (!body.empty()) {
+    COCONUT_RETURN_IF_ERROR(file->Read(0, body.size(), body.data()));
+  }
+
+  StoreManifest manifest;
+  std::istringstream lines(body);
+  std::string line;
+  if (!std::getline(lines, line) || line != kManifestHeader) {
+    return Status::Corruption("manifest: bad header");
+  }
+  size_t declared_shards = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "series_length") {
+      fields >> manifest.series_length;
+    } else if (tag == "shards") {
+      fields >> declared_shards;
+    } else if (tag == "shard") {
+      size_t index = 0;
+      std::string hex;
+      ShardInfo info;
+      fields >> index >> hex >> info.dir >> info.entries;
+      if (fields.fail() || index != manifest.shards.size()) {
+        return Status::Corruption("manifest: bad shard line: " + line);
+      }
+      COCONUT_RETURN_IF_ERROR(KeyFromHex(hex, &info.lower_bound));
+      manifest.shards.push_back(std::move(info));
+    } else {
+      return Status::Corruption("manifest: unknown directive: " + tag);
+    }
+    if (fields.fail()) {
+      return Status::Corruption("manifest: malformed line: " + line);
+    }
+  }
+  if (manifest.shards.size() != declared_shards) {
+    return Status::Corruption("manifest: shard count mismatch");
+  }
+  COCONUT_RETURN_IF_ERROR(manifest.Validate());
+  *out = std::move(manifest);
+  return Status::OK();
+}
+
+}  // namespace coconut

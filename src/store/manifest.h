@@ -1,0 +1,76 @@
+// Crash-safe text manifest for the sharded forest store.
+//
+// The manifest is the store's root metadata record (the couchstore /
+// LSM-engine "manifest per partition" pattern): it pins the shard count and
+// the invSAX key-space boundaries so a store reopened after a restart — or
+// a crash — partitions the key space exactly as it did when the data was
+// written. Per-shard run state (which runs exist, what the memtable held)
+// is intentionally *not* authoritative here: every shard's raw dataset file
+// is its write-ahead source of truth, and CoconutForest::Open rebuilds the
+// run set from it. The manifest's per-shard entry counts are advisory
+// (useful for inspection and consistency checks), never trusted over the
+// raw files.
+//
+// Commit protocol: the manifest is written to MANIFEST.tmp, synced, then
+// atomically renamed over MANIFEST. A crash at any point leaves either the
+// old committed manifest or the new one — never a torn file.
+//
+// Format (line-oriented text, '#' comments ignored):
+//
+//   coconut-store-manifest v1
+//   series_length <n>
+//   shards <N>
+//   shard <i> <lower-bound: 64 hex chars> <dir> <entries>
+//   ...
+//
+// Shard i owns keys in [lower_bound[i], lower_bound[i+1]) — the last shard
+// is unbounded above. lower_bound[0] must be the zero key so every key is
+// owned by exactly one shard.
+#ifndef COCONUT_STORE_MANIFEST_H_
+#define COCONUT_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/zkey.h"
+
+namespace coconut {
+
+/// One shard's manifest record.
+struct ShardInfo {
+  /// Inclusive lower bound of the shard's key range (zero key for shard 0).
+  ZKey lower_bound;
+  /// Shard directory name, relative to the store root.
+  std::string dir;
+  /// Advisory entry count at the last manifest commit. Recovery trusts the
+  /// shard's raw dataset file, not this number.
+  uint64_t entries = 0;
+};
+
+struct StoreManifest {
+  uint64_t version = 1;
+  uint64_t series_length = 0;
+  std::vector<ShardInfo> shards;
+
+  /// Structural checks: version, non-empty strictly-increasing boundaries
+  /// starting at the zero key, non-empty shard dirs.
+  Status Validate() const;
+};
+
+inline constexpr char kStoreManifestName[] = "MANIFEST";
+
+/// True if `store_dir` holds a committed manifest.
+bool StoreManifestExists(const std::string& store_dir);
+
+/// Commits `manifest` into `store_dir` atomically (temp file + rename).
+Status WriteStoreManifest(const std::string& store_dir,
+                          const StoreManifest& manifest);
+
+/// Loads and validates the committed manifest of `store_dir`.
+Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out);
+
+}  // namespace coconut
+
+#endif  // COCONUT_STORE_MANIFEST_H_

@@ -1,0 +1,294 @@
+#include "src/store/sharded_store.h"
+
+#include <future>
+#include <utility>
+
+#include "src/common/env.h"
+#include "src/core/knn.h"
+#include "src/summary/invsax.h"
+
+namespace coconut {
+
+namespace {
+
+/// Builds a ZKey from four big-endian 64-bit words (most significant first).
+ZKey KeyFromWords(const uint64_t words[ZKey::kWords]) {
+  uint8_t bytes[ZKey::kBytes];
+  for (size_t i = 0; i < ZKey::kWords; ++i) {
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[i * 8 + b] = static_cast<uint8_t>(words[i] >> (56 - 8 * b));
+    }
+  }
+  return ZKey::DeserializeBE(bytes);
+}
+
+/// Lower bound of shard `index` when the 256-bit key space is split into
+/// `num_shards` even ranges: floor(index * 2^256 / num_shards), computed by
+/// base-2^64 long division (the numerator's digits are [index, 0, 0, 0, 0]).
+ZKey ShardLowerBound(size_t index, size_t num_shards) {
+  uint64_t words[ZKey::kWords];
+  unsigned __int128 rem = index;  // index < num_shards, so digit 0 yields 0
+  for (size_t w = 0; w < ZKey::kWords; ++w) {
+    const unsigned __int128 cur = rem << 64;
+    words[w] = static_cast<uint64_t>(cur / num_shards);
+    rem = cur % num_shards;
+  }
+  return KeyFromWords(words);
+}
+
+}  // namespace
+
+Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
+                          std::unique_ptr<ShardedStore>* out) {
+  COCONUT_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<ShardedStore> store(new ShardedStore());
+  store->options_ = options;
+  store->dir_ = dir;
+  store->pool_ = ThreadPool::Shared();
+  COCONUT_RETURN_IF_ERROR(MakeDirs(dir));
+
+  const size_t series_length = options.forest.tree.summary.series_length;
+  if (StoreManifestExists(dir)) {
+    // Reopen: the committed manifest pins shard count and boundaries;
+    // options.num_shards is ignored so routing matches the stored data.
+    COCONUT_RETURN_IF_ERROR(ReadStoreManifest(dir, &store->manifest_));
+    if (store->manifest_.series_length != series_length) {
+      return Status::InvalidArgument(
+          "store was created with a different series_length");
+    }
+  } else {
+    // A directory holding shard data but no manifest is a damaged store,
+    // not a new one: re-partitioning with the caller's num_shards would
+    // silently mis-route (and possibly drop) the existing data.
+    if (FileExists(JoinPath(JoinPath(dir, "shard-0"), "raw.bin"))) {
+      return Status::Corruption(
+          "store directory has shard data but no manifest");
+    }
+    // New store: commit the manifest before any data exists, so a crash
+    // between manifest commit and first insert reopens as a valid empty
+    // store.
+    StoreManifest manifest;
+    manifest.series_length = series_length;
+    for (size_t i = 0; i < options.num_shards; ++i) {
+      ShardInfo info;
+      info.lower_bound = ShardLowerBound(i, options.num_shards);
+      info.dir = "shard-" + std::to_string(i);
+      manifest.shards.push_back(std::move(info));
+    }
+    COCONUT_RETURN_IF_ERROR(WriteStoreManifest(dir, manifest));
+    store->manifest_ = std::move(manifest);
+  }
+
+  // Open every shard forest. Each forest recovers its run state from the
+  // shard's raw dataset file (the write-ahead source of truth), so no run
+  // bookkeeping in the manifest is needed for crash recovery.
+  for (const ShardInfo& info : store->manifest_.shards) {
+    const std::string shard_dir = JoinPath(dir, info.dir);
+    COCONUT_RETURN_IF_ERROR(MakeDirs(shard_dir));
+    store->raw_paths_.push_back(JoinPath(shard_dir, "raw.bin"));
+    std::unique_ptr<CoconutForest> forest;
+    COCONUT_RETURN_IF_ERROR(CoconutForest::Open(
+        store->raw_paths_.back(), shard_dir, options.forest, &forest));
+    store->shards_.push_back(std::move(forest));
+  }
+  *out = std::move(store);
+  return Status::OK();
+}
+
+size_t ShardedStore::ShardForKey(const ZKey& key) const {
+  // Largest shard whose lower bound is <= key; boundaries are immutable
+  // after Open, so no lock is needed.
+  size_t lo = 0, hi = manifest_.shards.size();
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (manifest_.shards[mid].lower_bound <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t ShardedStore::ShardForSeries(const Series& series) const {
+  return ShardForKey(
+      InvSaxFromSeries(series.data(), options_.forest.tree.summary));
+}
+
+Status ShardedStore::Insert(const Series& series) {
+  if (series.size() != options_.forest.tree.summary.series_length) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  return shards_[ShardForSeries(series)]->Insert(series);
+}
+
+Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
+  const size_t n = options_.forest.tree.summary.series_length;
+  for (const Series& s : batch) {
+    if (s.size() != n) {
+      return Status::InvalidArgument("series length mismatch");
+    }
+  }
+  // Route every series, and hand the whole batch straight to the owner
+  // when a single shard gets everything (always true for 1-shard stores) —
+  // no copy, no dispatch overhead.
+  std::vector<size_t> owner(batch.size());
+  bool single_shard = true;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    owner[i] = ShardForSeries(batch[i]);
+    if (owner[i] != owner[0]) single_shard = false;
+  }
+  if (batch.empty()) return Status::OK();
+  if (single_shard) return shards_[owner[0]]->InsertBatch(batch);
+
+  // Split by owning shard, then insert the sub-batches concurrently: the
+  // first non-empty shard runs on the calling thread (caller participation
+  // keeps a saturated pool from stalling the write), the rest as pool tasks.
+  std::vector<std::vector<Series>> buckets(shards_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    buckets[owner[i]].push_back(batch[i]);
+  }
+  std::vector<std::future<Status>> pending;
+  int inline_shard = -1;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    if (inline_shard < 0) {
+      inline_shard = static_cast<int>(i);
+      continue;
+    }
+    pending.push_back(pool_->Async(
+        [this, i, &buckets]() { return shards_[i]->InsertBatch(buckets[i]); }));
+  }
+  Status first_error = Status::OK();
+  if (inline_shard >= 0) {
+    first_error = shards_[inline_shard]->InsertBatch(buckets[inline_shard]);
+  }
+  for (auto& f : pending) {
+    const Status st = f.get();
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedStore::ForEachShardParallel(
+    const std::function<Status(size_t)>& fn) const {
+  std::vector<std::future<Status>> pending;
+  pending.reserve(shards_.size());
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    pending.push_back(pool_->Async([&fn, i]() { return fn(i); }));
+  }
+  Status first_error = fn(0);  // caller participates with shard 0
+  for (auto& f : pending) {
+    const Status st = f.get();
+    if (first_error.ok() && !st.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status ShardedStore::CommitManifestLocked() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    manifest_.shards[i].entries = shards_[i]->num_entries();
+  }
+  return WriteStoreManifest(dir_, manifest_);
+}
+
+Status ShardedStore::Flush() {
+  COCONUT_RETURN_IF_ERROR(
+      ForEachShardParallel([this](size_t i) { return shards_[i]->Flush(); }));
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  return CommitManifestLocked();
+}
+
+Status ShardedStore::CompactAll() {
+  // Level 1 of parallel compaction: independent shards compact
+  // concurrently. Level 2 happens inside each shard, where the runs-merge
+  // is chunked over the same pool (nested ParallelFor is deadlock-free by
+  // caller participation).
+  COCONUT_RETURN_IF_ERROR(ForEachShardParallel(
+      [this](size_t i) { return shards_[i]->CompactAll(); }));
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  return CommitManifestLocked();
+}
+
+ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
+  Snapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snap.shards.push_back(shard->GetSnapshot());
+  }
+  return snap;
+}
+
+uint64_t ShardedStore::num_entries() const {
+  return GetSnapshot().num_entries();
+}
+
+void ShardedStore::MergeShardResults(const std::vector<SearchResult>& per_shard,
+                                     size_t k, SearchResult* out) {
+  KnnCollector knn(k);
+  uint64_t visited = 0;
+  uint64_t leaves_read = 0;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    visited += per_shard[s].visited_records;
+    leaves_read += per_shard[s].leaves_read;
+    for (const Neighbor& nb : per_shard[s].neighbors) {
+      knn.Offer(EncodeOffset(s, nb.offset), nb.distance * nb.distance);
+    }
+  }
+  knn.Finalize(out);
+  out->visited_records = visited;
+  out->leaves_read = leaves_read;
+}
+
+Status ShardedStore::ExactSearch(const Value* query, SearchResult* result,
+                                 size_t k) const {
+  return ExactSearch(GetSnapshot(), query, result, k);
+}
+
+Status ShardedStore::ExactSearch(const Snapshot& snapshot, const Value* query,
+                                 SearchResult* result, size_t k,
+                                 CoconutTree::QueryScratch* scratch) const {
+  if (snapshot.shards.size() != shards_.size()) {
+    return Status::InvalidArgument("snapshot shard count mismatch");
+  }
+  if (snapshot.num_entries() == 0) return Status::NotFound("empty store");
+  CoconutTree::QueryScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  // Shards partition the data, so merging per-shard exact top-k answers
+  // yields the global top-k (the forest's per-run argument, one level up).
+  std::vector<SearchResult> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (snapshot.shards[i].num_entries() == 0) continue;
+    COCONUT_RETURN_IF_ERROR(shards_[i]->ExactSearch(
+        snapshot.shards[i], query, &per_shard[i], k, scratch));
+  }
+  MergeShardResults(per_shard, k, result);
+  return Status::OK();
+}
+
+Status ShardedStore::ApproxSearch(const Value* query, size_t num_leaves,
+                                  SearchResult* result, size_t k) const {
+  return ApproxSearch(GetSnapshot(), query, num_leaves, result, k);
+}
+
+Status ShardedStore::ApproxSearch(const Snapshot& snapshot, const Value* query,
+                                  size_t num_leaves, SearchResult* result,
+                                  size_t k,
+                                  CoconutTree::QueryScratch* scratch) const {
+  if (snapshot.shards.size() != shards_.size()) {
+    return Status::InvalidArgument("snapshot shard count mismatch");
+  }
+  if (snapshot.num_entries() == 0) return Status::NotFound("empty store");
+  CoconutTree::QueryScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  std::vector<SearchResult> per_shard(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (snapshot.shards[i].num_entries() == 0) continue;
+    COCONUT_RETURN_IF_ERROR(shards_[i]->ApproxSearch(
+        snapshot.shards[i], query, num_leaves, &per_shard[i], k, scratch));
+  }
+  MergeShardResults(per_shard, k, result);
+  return Status::OK();
+}
+
+}  // namespace coconut

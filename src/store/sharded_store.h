@@ -1,0 +1,183 @@
+// ShardedStore: a key-space partitioned forest of forests.
+//
+// Coconut's bottom-up design makes summarizations sortable, which is what
+// lets the LSM-style CoconutForest be *range-partitioned* by invSAX key:
+// the store splits the 256-bit z-order key space into N contiguous ranges
+// and backs each range with its own CoconutForest in its own directory
+// (which may live on its own device). A crash-safe text manifest
+// (src/store/manifest.h) pins the shard count and boundaries so a store
+// reopened after a restart routes keys identically.
+//
+// Writes route by invSAX key to the owning shard; batch inserts are split
+// per shard and dispatched concurrently on the shared ThreadPool (the
+// calling thread works one sub-batch itself, so a saturated pool degrades
+// to serial execution, never deadlock). Each shard compacts independently —
+// CompactAll runs the per-shard compactions concurrently, and within one
+// shard the runs-merge is itself chunked over the pool
+// (CoconutForest::MergeRunsParallel) — the two levels of parallel
+// compaction.
+//
+// Queries take a store snapshot (one CoconutForest::Snapshot per shard) and
+// fan out across shards; per-shard k-NN answers merge through KnnCollector.
+// Shards partition the data, so the merged per-shard exact top-k is the
+// global top-k — the same argument that makes the forest's per-run merge
+// exact. A QueryEngine batch takes ONE store snapshot up front, so snapshot
+// isolation holds across the whole store: every query in the batch sees the
+// same point-in-time state on every shard. (Each shard's snapshot is
+// internally consistent; a concurrent cross-shard batch insert may be
+// visible on some shards and not yet on others, exactly like two
+// independent LSM engines.)
+//
+// Offsets: each shard has its own raw dataset file, so a neighbor's
+// raw-file offset is only meaningful within its shard. Store-level results
+// carry an *encoded* offset with the shard id in the high bits
+// (EncodeOffset/DecodeOffset); a single-shard store encodes to the plain
+// local offset, bit-for-bit compatible with an unsharded forest.
+#ifndef COCONUT_STORE_SHARDED_STORE_H_
+#define COCONUT_STORE_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/zkey.h"
+#include "src/core/coconut_forest.h"
+#include "src/exec/thread_pool.h"
+#include "src/series/series.h"
+#include "src/store/manifest.h"
+
+namespace coconut {
+
+struct StoreOptions {
+  /// Per-shard forest configuration (memtable size, run threshold, tree).
+  ForestOptions forest;
+  /// Shards to create for a NEW store. Reopening an existing store always
+  /// uses the shard count and boundaries pinned in its manifest.
+  size_t num_shards = 4;
+
+  Status Validate() const {
+    COCONUT_RETURN_IF_ERROR(forest.Validate());
+    if (num_shards == 0 || num_shards > kMaxShards) {
+      return Status::InvalidArgument("num_shards must be in [1, 4096]");
+    }
+    return Status::OK();
+  }
+
+  static constexpr size_t kMaxShards = 4096;
+};
+
+class ShardedStore {
+ public:
+  /// Bits of an encoded offset reserved for the local raw-file offset; the
+  /// shard id lives in the bits above (48 bits ≈ 256 TiB per shard file).
+  static constexpr unsigned kShardOffsetBits = 48;
+
+  /// A point-in-time view of the whole store: one forest snapshot per
+  /// shard, indexed by shard id. Cheap to copy; queries against it never
+  /// block, and are never affected by, concurrent writers.
+  struct Snapshot {
+    std::vector<CoconutForest::Snapshot> shards;
+
+    uint64_t num_entries() const {
+      uint64_t total = 0;
+      for (const auto& s : shards) total += s.num_entries();
+      return total;
+    }
+  };
+
+  /// Opens (creating if needed) the store rooted at `dir`. A new store is
+  /// partitioned into options.num_shards even key ranges and its manifest
+  /// committed before any data is written; an existing store is reopened
+  /// from its manifest (each shard forest recovers its runs from the
+  /// shard's raw dataset file).
+  static Status Open(const std::string& dir, const StoreOptions& options,
+                     std::unique_ptr<ShardedStore>* out);
+
+  /// Routes one series to its owning shard. Serialized with other writers
+  /// of that shard only.
+  Status Insert(const Series& series);
+
+  /// Splits the batch by invSAX key and inserts the per-shard sub-batches
+  /// concurrently on the shared pool.
+  Status InsertBatch(const std::vector<Series>& batch);
+
+  /// Flushes every shard's memtable (concurrently) and re-commits the
+  /// manifest with fresh advisory entry counts.
+  Status Flush();
+
+  /// Compacts every shard to a single run. Shards compact concurrently and
+  /// each shard's runs-merge is itself parallel — see CoconutForest.
+  Status CompactAll();
+
+  /// Captures a store-wide snapshot (one per-shard snapshot each).
+  Snapshot GetSnapshot() const;
+
+  /// Exact k nearest neighbors across every shard. Neighbor offsets are
+  /// encoded with EncodeOffset.
+  Status ExactSearch(const Value* query, SearchResult* result,
+                     size_t k = 1) const;
+  Status ExactSearch(const Snapshot& snapshot, const Value* query,
+                     SearchResult* result, size_t k = 1,
+                     CoconutTree::QueryScratch* scratch = nullptr) const;
+
+  /// Approximate search: best k candidates across every shard's memtable
+  /// and target leaf windows.
+  Status ApproxSearch(const Value* query, size_t num_leaves,
+                      SearchResult* result, size_t k = 1) const;
+  Status ApproxSearch(const Snapshot& snapshot, const Value* query,
+                      size_t num_leaves, SearchResult* result, size_t k = 1,
+                      CoconutTree::QueryScratch* scratch = nullptr) const;
+
+  /// Merges per-shard k-NN answers (indexed by shard id) into one result,
+  /// retagging neighbor offsets with the shard id. Exposed for QueryEngine.
+  static void MergeShardResults(const std::vector<SearchResult>& per_shard,
+                                size_t k, SearchResult* out);
+
+  static uint64_t EncodeOffset(size_t shard, uint64_t local_offset) {
+    return (static_cast<uint64_t>(shard) << kShardOffsetBits) | local_offset;
+  }
+  static void DecodeOffset(uint64_t encoded, size_t* shard,
+                           uint64_t* local_offset) {
+    *shard = static_cast<size_t>(encoded >> kShardOffsetBits);
+    *local_offset = encoded & ((uint64_t{1} << kShardOffsetBits) - 1);
+  }
+
+  /// Shard id owning `key` (binary search over the manifest boundaries).
+  size_t ShardForKey(const ZKey& key) const;
+  /// Shard id owning `series` (summarize, then route).
+  size_t ShardForSeries(const Series& series) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t num_entries() const;
+  const CoconutForest& shard(size_t i) const { return *shards_[i]; }
+  /// The shard's raw dataset file (local offsets point into this).
+  const std::string& shard_raw_path(size_t i) const { return raw_paths_[i]; }
+  const StoreManifest& manifest() const { return manifest_; }
+
+ private:
+  ShardedStore() = default;
+
+  /// Runs `fn(shard)` for every shard concurrently on the pool (the caller
+  /// executes one shard itself) and returns the first failure.
+  Status ForEachShardParallel(
+      const std::function<Status(size_t)>& fn) const;
+  /// Re-commits the manifest with current advisory entry counts.
+  Status CommitManifestLocked();
+
+  StoreOptions options_;
+  std::string dir_;
+  StoreManifest manifest_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<CoconutForest>> shards_;
+  std::vector<std::string> raw_paths_;
+  // Serializes manifest re-commits (shard writers serialize themselves).
+  mutable std::mutex manifest_mu_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_STORE_SHARDED_STORE_H_

@@ -115,6 +115,36 @@ TEST(CoconutForest, MaterializedRunsWork) {
   EXPECT_NEAR(r.distance, bf_dist, 1e-4);
 }
 
+TEST(CoconutForest, CompactionFallsBackToStreamingMergeUnderTightBudget) {
+  // Materialized leaf entries embed the raw series, so a tight memory
+  // budget routes compaction through the streaming k-way merge instead of
+  // the in-memory parallel merge. Results must stay exact either way.
+  ScratchDir dir;
+  ForestOptions opts = SmallForest(dir, /*materialized=*/true);
+  opts.tree.memory_budget_bytes = 1024 * 1024;  // minimum allowed
+  opts.memtable_series = 500;
+  std::unique_ptr<CoconutForest> forest;
+  ASSERT_OK(CoconutForest::Open(dir.File("data.bin"), dir.File("forest"),
+                                opts, &forest));
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, 64, 78);
+  std::vector<Series> data;
+  for (int i = 0; i < 2400; ++i) data.push_back(gen->NextSeries());
+  // 2400 entries x 296 bytes x 2 > 1 MiB: the merge must take the
+  // streaming path.
+  ASSERT_OK(forest->InsertBatch(data));
+  ASSERT_OK(forest->CompactAll());
+  EXPECT_EQ(forest->num_runs(), 1u);
+  EXPECT_EQ(forest->num_entries(), data.size());
+  for (int q = 0; q < 3; ++q) {
+    const Series query = gen->NextSeries();
+    const auto [bf_idx, bf_dist] = BruteForceNn(data, query);
+    SearchResult r;
+    ASSERT_OK(forest->ExactSearch(query.data(), &r));
+    EXPECT_NEAR(r.distance, bf_dist, 1e-4);
+    (void)bf_idx;
+  }
+}
+
 TEST(CoconutForest, ApproxIsUpperBoundOfExact) {
   ScratchDir dir;
   const std::string raw = dir.File("data.bin");

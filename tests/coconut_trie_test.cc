@@ -8,6 +8,8 @@
 
 #include "gtest/gtest.h"
 #include "src/core/coconut_tree.h"
+#include "src/exec/query_engine.h"
+#include "src/exec/thread_pool.h"
 #include "src/series/distance.h"
 #include "src/summary/invsax.h"
 #include "tests/test_util.h"
@@ -260,6 +262,56 @@ TEST(CoconutTrieDuplicates, IdenticalSeriesOverflowOneKeyGroup) {
   ASSERT_OK(trie->ExactSearch(base.data(), 1, &res));
   EXPECT_NEAR(res.distance, bf_dist, 1e-4);
   EXPECT_NEAR(res.distance, 0.0, 1e-4);
+}
+
+TEST(CoconutTrieConcurrency, ConstReadPathsAreThreadSafe) {
+  // The trie's query paths are const with per-call scratch (no shared
+  // fetch buffer) and a load-once SIMS latch, so many threads may search
+  // one trie concurrently — including through QueryEngine. Results must
+  // match the serial answers bit-for-bit.
+  ScratchDir dir;
+  const std::string raw = dir.File("data.bin");
+  const std::string index = dir.File("index.ctrie");
+  const auto data = MakeDatasetFile(raw, DatasetKind::kRandomWalk, 1500, 64, 81);
+  CoconutOptions opts;
+  opts.summary.series_length = 64;
+  opts.summary.segments = 16;
+  opts.leaf_capacity = 64;
+  opts.tmp_dir = dir.path();
+  ASSERT_OK(CoconutTrie::Build(raw, index, opts));
+  std::unique_ptr<CoconutTrie> trie;
+  ASSERT_OK(CoconutTrie::Open(index, raw, &trie));
+
+  std::vector<Series> queries;
+  auto qgen = MakeGenerator(DatasetKind::kRandomWalk, 64, 82);
+  for (int i = 0; i < 32; ++i) queries.push_back(qgen->NextSeries());
+
+  std::vector<SearchResult> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_OK(trie->ExactSearch(queries[i].data(), 1, &serial[i], 2));
+  }
+
+  ThreadPool pool(4);
+  QueryEngine engine(&pool);
+  QuerySpec spec;
+  spec.mode = QuerySpec::Mode::kExact;
+  spec.k = 2;
+  spec.approx_leaves = 1;
+  // The first exact query on each worker races the SIMS load; run the batch
+  // a few times to exercise both the cold and warm paths.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<SearchResult> batch;
+    ASSERT_OK(engine.ExecuteBatch(*trie, queries, spec, &batch));
+    ASSERT_EQ(batch.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(batch[i].neighbors.size(), serial[i].neighbors.size());
+      for (size_t j = 0; j < serial[i].neighbors.size(); ++j) {
+        EXPECT_EQ(batch[i].neighbors[j].offset, serial[i].neighbors[j].offset);
+        EXPECT_EQ(batch[i].neighbors[j].distance,
+                  serial[i].neighbors[j].distance);
+      }
+    }
+  }
 }
 
 TEST(CoconutTrieErrors, EmptyDatasetRejected) {

@@ -1,0 +1,409 @@
+// ShardedStore: manifest round-trip and crash recovery, key-space routing,
+// cross-shard k-NN equivalence against a single unsharded forest, and a
+// multi-shard reader/writer stress test (a ThreadSanitizer target, see
+// .github/workflows/ci.yml).
+#include "src/store/sharded_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/coconut_forest.h"
+#include "src/exec/query_engine.h"
+#include "src/store/manifest.h"
+#include "src/summary/invsax.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::ScratchDir;
+
+constexpr size_t kSeriesLen = 64;
+
+StoreOptions SmallStore(const ScratchDir& dir, size_t num_shards) {
+  StoreOptions opts;
+  opts.forest.tree.summary.series_length = kSeriesLen;
+  opts.forest.tree.summary.segments = 16;
+  opts.forest.tree.leaf_capacity = 64;
+  opts.forest.tree.tmp_dir = dir.path();
+  opts.forest.memtable_series = 100;
+  opts.forest.max_runs = 3;
+  opts.num_shards = num_shards;
+  return opts;
+}
+
+std::vector<Series> MakeSeries(size_t count, uint64_t seed) {
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, kSeriesLen, seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(gen->NextSeries());
+  return out;
+}
+
+/// Brute-force k-NN distances (ascending) over the first `count` series.
+std::vector<double> OracleDistances(const std::vector<Series>& data,
+                                    size_t count, const Series& query,
+                                    size_t k) {
+  std::vector<double> dists;
+  dists.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < kSeriesLen; ++j) {
+      const double d = static_cast<double>(data[i][j]) -
+                       static_cast<double>(query[j]);
+      sum += d * d;
+    }
+    dists.push_back(std::sqrt(sum));
+  }
+  std::sort(dists.begin(), dists.end());
+  if (dists.size() > k) dists.resize(k);
+  return dists;
+}
+
+TEST(ShardedStore, OffsetEncodingRoundTrips) {
+  for (const size_t shard : {size_t{0}, size_t{1}, size_t{17}}) {
+    for (const uint64_t local : {uint64_t{0}, uint64_t{256}, uint64_t{1} << 40}) {
+      const uint64_t enc = ShardedStore::EncodeOffset(shard, local);
+      size_t s;
+      uint64_t l;
+      ShardedStore::DecodeOffset(enc, &s, &l);
+      EXPECT_EQ(s, shard);
+      EXPECT_EQ(l, local);
+    }
+  }
+  // Shard 0 encodes to the plain local offset (forest compatibility).
+  EXPECT_EQ(ShardedStore::EncodeOffset(0, 4096u), 4096u);
+}
+
+TEST(ShardedStore, RoutingIsAPartitionOfTheKeySpace) {
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+    ScratchDir dir;
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(dir.File("store"), SmallStore(dir, shards),
+                                 &store));
+    ASSERT_EQ(store->num_shards(), shards);
+    const StoreManifest& m = store->manifest();
+    EXPECT_EQ(m.shards[0].lower_bound, ZKey());
+    EXPECT_EQ(store->ShardForKey(ZKey()), 0u);
+    EXPECT_EQ(store->ShardForKey(ZKey::Max()), shards - 1);
+    for (size_t i = 0; i < shards; ++i) {
+      EXPECT_EQ(store->ShardForKey(m.shards[i].lower_bound), i);
+    }
+    // Real keys agree with the boundary definition (largest lower <= key).
+    const SummaryOptions summary = SmallStore(dir, shards).forest.tree.summary;
+    for (const Series& s : MakeSeries(50, 1000 + shards)) {
+      const ZKey key = InvSaxFromSeries(s.data(), summary);
+      size_t expected = 0;
+      for (size_t i = 0; i < shards; ++i) {
+        if (m.shards[i].lower_bound <= key) expected = i;
+      }
+      EXPECT_EQ(store->ShardForKey(key), expected);
+    }
+  }
+}
+
+TEST(ShardedStore, CrossShardKnnMatchesUnshardedForest) {
+  ScratchDir dir;
+  const std::vector<Series> data = MakeSeries(800, 91);
+  const std::vector<Series> queries = MakeSeries(10, 92);
+
+  // Reference: one unsharded forest over the same data.
+  ForestOptions fopts = SmallStore(dir, 1).forest;
+  std::unique_ptr<CoconutForest> forest;
+  ASSERT_OK(CoconutForest::Open(dir.File("data.bin"), dir.File("forest"),
+                                fopts, &forest));
+  ASSERT_OK(forest->InsertBatch(data));
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(
+        dir.File("store-" + std::to_string(shards)),
+        SmallStore(dir, shards), &store));
+    ASSERT_OK(store->InsertBatch(data));
+    EXPECT_EQ(store->num_entries(), data.size());
+
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const size_t k = 1 + qi % 5;
+      SearchResult from_forest, from_store;
+      ASSERT_OK(forest->ExactSearch(queries[qi].data(), &from_forest, k));
+      ASSERT_OK(store->ExactSearch(queries[qi].data(), &from_store, k));
+      ASSERT_EQ(from_store.neighbors.size(), from_forest.neighbors.size());
+      for (size_t j = 0; j < from_forest.neighbors.size(); ++j) {
+        EXPECT_NEAR(from_store.neighbors[j].distance,
+                    from_forest.neighbors[j].distance, 1e-9)
+            << "shards=" << shards << " query=" << qi << " rank=" << j;
+      }
+      // Approximate store search is an upper bound of the exact answer.
+      SearchResult approx;
+      ASSERT_OK(store->ApproxSearch(queries[qi].data(), 1, &approx, k));
+      EXPECT_GE(approx.distance + 1e-6, from_store.distance);
+    }
+  }
+}
+
+TEST(ShardedStore, QueryEngineBatchMatchesSerialStoreSearch) {
+  ScratchDir dir;
+  const std::vector<Series> data = MakeSeries(600, 93);
+  const std::vector<Series> queries = MakeSeries(24, 94);
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(dir.File("store"), SmallStore(dir, 4), &store));
+  ASSERT_OK(store->InsertBatch(data));
+
+  ThreadPool pool(4);
+  QueryEngine engine(&pool);
+  const ShardedStore::Snapshot snap = store->GetSnapshot();
+  for (const auto mode :
+       {QuerySpec::Mode::kExact, QuerySpec::Mode::kApprox}) {
+    QuerySpec spec;
+    spec.mode = mode;
+    spec.k = 3;
+    spec.approx_leaves = 2;
+    std::vector<SearchResult> batch;
+    ASSERT_OK(engine.ExecuteBatch(*store, snap, queries, spec, &batch));
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SearchResult serial;
+      if (mode == QuerySpec::Mode::kExact) {
+        ASSERT_OK(store->ExactSearch(snap, queries[i].data(), &serial,
+                                     spec.k));
+      } else {
+        ASSERT_OK(store->ApproxSearch(snap, queries[i].data(),
+                                      spec.approx_leaves, &serial, spec.k));
+      }
+      ASSERT_EQ(batch[i].neighbors.size(), serial.neighbors.size());
+      for (size_t j = 0; j < serial.neighbors.size(); ++j) {
+        EXPECT_EQ(batch[i].neighbors[j].offset, serial.neighbors[j].offset);
+        EXPECT_EQ(batch[i].neighbors[j].distance,
+                  serial.neighbors[j].distance);
+      }
+    }
+  }
+}
+
+TEST(ShardedStore, ManifestRoundTripSurvivesCrashReopen) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  const std::vector<Series> data = MakeSeries(500, 95);
+  const std::vector<Series> queries = MakeSeries(8, 96);
+
+  std::vector<SearchResult> before(queries.size());
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+    ASSERT_OK(store->InsertBatch(data));
+    ASSERT_OK(store->Flush());  // re-commits the manifest with entry counts
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_OK(store->ExactSearch(queries[i].data(), &before[i], 3));
+    }
+    // The store object goes out of scope with no clean-shutdown step:
+    // reopening is always the crash-recovery path.
+  }
+
+  // Harden the simulated crash: wipe every derived file (runs + sidecars),
+  // keeping only each shard's raw dataset and the committed manifest.
+  // Recovery must rebuild the runs from the raw files alone.
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("run-", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+
+  // Reopen with a DIFFERENT requested shard count: the manifest must win,
+  // or routing would no longer match the stored data.
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 7), &store));
+  EXPECT_EQ(store->num_shards(), 3u);
+  EXPECT_EQ(store->num_entries(), data.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SearchResult after;
+    ASSERT_OK(store->ExactSearch(queries[i].data(), &after, 3));
+    ASSERT_EQ(after.neighbors.size(), before[i].neighbors.size());
+    for (size_t j = 0; j < before[i].neighbors.size(); ++j) {
+      EXPECT_EQ(after.neighbors[j].offset, before[i].neighbors[j].offset);
+      EXPECT_NEAR(after.neighbors[j].distance,
+                  before[i].neighbors[j].distance, 1e-9);
+    }
+  }
+
+  // And the data keeps flowing after recovery.
+  ASSERT_OK(store->InsertBatch(MakeSeries(100, 97)));
+  EXPECT_EQ(store->num_entries(), data.size() + 100);
+}
+
+TEST(ShardedStore, RejectsCorruptManifestAndMismatchedOptions) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+  }
+  // Mismatched series_length is refused (the store would mis-route).
+  {
+    StoreOptions opts = SmallStore(dir, 2);
+    opts.forest.tree.summary.series_length = 128;
+    opts.forest.tree.summary.segments = 16;
+    std::unique_ptr<ShardedStore> store;
+    EXPECT_FALSE(ShardedStore::Open(root, opts, &store).ok());
+  }
+  // A torn/garbage manifest is refused, not silently repartitioned.
+  {
+    std::ofstream(JoinPath(root, kStoreManifestName)) << "garbage\n";
+    std::unique_ptr<ShardedStore> store;
+    EXPECT_FALSE(ShardedStore::Open(root, SmallStore(dir, 2), &store).ok());
+  }
+  // Shard data with a missing manifest is a damaged store, not a new one.
+  {
+    std::filesystem::remove(JoinPath(root, kStoreManifestName));
+    std::unique_ptr<ShardedStore> store;
+    const Status st = ShardedStore::Open(root, SmallStore(dir, 2), &store);
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+}
+
+TEST(ShardedStoreConcurrency, ReadersAndEngineStayConsistentUnderIngest) {
+  ScratchDir dir;
+  StoreOptions opts = SmallStore(dir, 4);
+  opts.forest.memtable_series = 60;  // frequent flushes
+  opts.forest.max_runs = 2;          // frequent compactions
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(dir.File("store"), opts, &store));
+
+  const size_t kTotal = 800;
+  const std::vector<Series> data = MakeSeries(kTotal, 4242);
+  const std::vector<Series> queries = MakeSeries(12, 4343);
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  auto record_failure = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(msg);
+  };
+
+  // Writer: batches split across shards and inserted concurrently; every
+  // few waves force a store-wide flush or two-level parallel compaction.
+  std::thread writer([&]() {
+    const size_t kBatch = 40;
+    for (size_t base = 0; base < kTotal; base += kBatch) {
+      std::vector<Series> batch(
+          data.begin() + base,
+          data.begin() + std::min(kTotal, base + kBatch));
+      Status st = store->InsertBatch(batch);
+      if (!st.ok()) {
+        record_failure("InsertBatch: " + st.ToString());
+        break;
+      }
+      if ((base / kBatch) % 5 == 1) st = store->Flush();
+      if (st.ok() && (base / kBatch) % 7 == 2) st = store->CompactAll();
+      if (!st.ok()) {
+        record_failure("Flush/CompactAll: " + st.ToString());
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  // Readers: store snapshots must be internally consistent at all times —
+  // sorted neighbor lists, approx upper-bounding exact, and the engine's
+  // parallel cross-shard fan-out agreeing bit-for-bit with the serial
+  // store search on the same snapshot.
+  std::atomic<int> reader_checks{0};
+  auto reader_fn = [&](size_t seed) {
+    ThreadPool pool(2);
+    QueryEngine engine(&pool);
+    size_t iter = seed;
+    while (!done.load()) {
+      const ShardedStore::Snapshot snap = store->GetSnapshot();
+      const uint64_t visible = snap.num_entries();
+      if (visible == 0) continue;
+      if (visible > kTotal) {
+        record_failure("snapshot exposes more entries than inserted");
+        return;
+      }
+      const Series& query = queries[iter++ % queries.size()];
+      const size_t k = 1 + iter % 3;
+
+      SearchResult exact;
+      Status st = store->ExactSearch(snap, query.data(), &exact, k);
+      if (!st.ok()) {
+        record_failure("ExactSearch: " + st.ToString());
+        return;
+      }
+      if (exact.neighbors.size() !=
+          std::min<uint64_t>(k, visible)) {
+        record_failure("unexpected exact neighbor count");
+        return;
+      }
+      for (size_t j = 1; j < exact.neighbors.size(); ++j) {
+        if (exact.neighbors[j].distance + 1e-12 <
+            exact.neighbors[j - 1].distance) {
+          record_failure("exact neighbors not ascending");
+          return;
+        }
+      }
+      SearchResult approx;
+      st = store->ApproxSearch(snap, query.data(), 1, &approx, k);
+      if (!st.ok()) {
+        record_failure("ApproxSearch: " + st.ToString());
+        return;
+      }
+      if (approx.distance + 1e-6 < exact.distance) {
+        record_failure("approx beat exact on the same snapshot");
+        return;
+      }
+      std::vector<SearchResult> batch;
+      QuerySpec spec;
+      spec.mode = QuerySpec::Mode::kExact;
+      spec.k = k;
+      st = engine.ExecuteBatch(*store, snap, {query}, spec, &batch);
+      if (!st.ok()) {
+        record_failure("ExecuteBatch: " + st.ToString());
+        return;
+      }
+      if (batch[0].neighbors.size() != exact.neighbors.size()) {
+        record_failure("engine/serial neighbor count mismatch");
+        return;
+      }
+      for (size_t j = 0; j < exact.neighbors.size(); ++j) {
+        if (batch[0].neighbors[j].offset != exact.neighbors[j].offset ||
+            batch[0].neighbors[j].distance != exact.neighbors[j].distance) {
+          record_failure("engine/serial neighbor mismatch");
+          return;
+        }
+      }
+      reader_checks.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 2; ++r) readers.emplace_back(reader_fn, r + 1);
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+  EXPECT_GT(reader_checks.load(), 0);
+
+  // Quiescent state: everything visible and exact against the oracle.
+  EXPECT_EQ(store->num_entries(), kTotal);
+  for (size_t qi = 0; qi < 4; ++qi) {
+    SearchResult final_result;
+    ASSERT_OK(store->ExactSearch(queries[qi].data(), &final_result, 3));
+    const std::vector<double> oracle =
+        OracleDistances(data, kTotal, queries[qi], 3);
+    ASSERT_EQ(final_result.neighbors.size(), oracle.size());
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_NEAR(final_result.neighbors[j].distance, oracle[j], 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coconut
