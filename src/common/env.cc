@@ -64,6 +64,18 @@ Status RenameFile(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
+Status TruncateFile(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  const auto current = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  if (static_cast<uint64_t>(current) < size) {
+    return Status::InvalidArgument("truncate would grow " + path);
+  }
+  fs::resize_file(path, size, ec);
+  if (ec) return Status::IOError("resize_file " + path + ": " + ec.message());
+  return Status::OK();
+}
+
 std::string JoinPath(const std::string& a, const std::string& b) {
   if (a.empty()) return b;
   if (a.back() == '/') return a + b;

@@ -30,6 +30,10 @@ bool FileExists(const std::string& path);
 /// Atomically renames `from` to `to` (same filesystem).
 Status RenameFile(const std::string& from, const std::string& to);
 
+/// Truncates the file at `path` to exactly `size` bytes (used by crash
+/// recovery to roll back uncommitted appends; never grows the file).
+Status TruncateFile(const std::string& path, uint64_t size);
+
 /// Joins two path components with exactly one '/'.
 std::string JoinPath(const std::string& a, const std::string& b);
 

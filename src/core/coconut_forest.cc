@@ -209,9 +209,10 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
   raw_bytes_ += batch.size() * n * sizeof(Value);
   for (const Series& s : batch) {
     if (memtable_count_ >= options_.memtable_series) {
-      // Only reachable when an earlier flush failed and left the memtable
-      // at capacity: the flush must succeed before another push_back, or
-      // the vector would reallocate under lock-free snapshot readers.
+      // Reachable when an earlier flush failed, or when a staged publish
+      // filled the memtable exactly to capacity: the flush must succeed
+      // before another push_back, or the vector would reallocate under
+      // lock-free snapshot readers.
       COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
     }
     {
@@ -231,6 +232,117 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
     COCONUT_RETURN_IF_ERROR(CompactWriterLocked());
   }
   return Status::OK();
+}
+
+Status CoconutForest::StageBatch(const std::vector<Series>& batch,
+                                 StagedBatch* out) {
+  const size_t n = options_.tree.summary.series_length;
+  for (const Series& s : batch) {
+    if (s.size() != n) {
+      return Status::InvalidArgument("series length mismatch");
+    }
+  }
+  if (batch.empty()) return Status::InvalidArgument("empty staged batch");
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  out->pre_raw_bytes = raw_bytes_;
+  out->raw_bytes = batch.size() * n * sizeof(Value);
+  COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+  uint64_t offset = raw_bytes_;
+  raw_bytes_ += out->raw_bytes;
+  if (batch.size() > options_.memtable_series) {
+    // The slice cannot fit even an empty memtable: pre-build it as its own
+    // sorted run now, in stage phase, so publication is an O(1) run-set
+    // push instead of an impossible sequence of flushes under the store's
+    // visibility lock.
+    std::vector<MemEntry> entries;
+    entries.reserve(batch.size());
+    for (const Series& s : batch) {
+      entries.push_back(MemEntry{s, offset});
+      offset += n * sizeof(Value);
+    }
+    std::vector<uint8_t> sorted =
+        EncodeSortedRecords(entries, entries.size(), options_.tree);
+    const size_t entry_bytes = LeafEntryBytes(options_.tree);
+    const std::string path = RunPath(next_run_id_++);
+    {
+      VectorStream stream(std::move(sorted), entry_bytes);
+      COCONUT_RETURN_IF_ERROR(
+          CoconutTreeBuilder::BulkLoad(&stream, options_.tree, path));
+    }
+    std::unique_ptr<CoconutTree> run;
+    COCONUT_RETURN_IF_ERROR(CoconutTree::Open(path, raw_path_, &run));
+    out->run = std::move(run);
+    return Status::OK();
+  }
+  if (memtable_count_ + batch.size() > options_.memtable_series) {
+    // Make room now so PublishStaged never has to flush.
+    COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
+  }
+  out->entries.reserve(batch.size());
+  for (const Series& s : batch) {
+    out->entries.push_back(MemEntry{s, offset});
+    offset += n * sizeof(Value);
+  }
+  return Status::OK();
+}
+
+bool CoconutForest::StagedFits(const StagedBatch& staged) const {
+  if (staged.run != nullptr) return true;  // run install is always O(1)
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return memtable_count_ + staged.entries.size() <= options_.memtable_series;
+}
+
+Status CoconutForest::PublishStaged(StagedBatch&& staged) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (staged.run == nullptr &&
+      memtable_count_ + staged.entries.size() > options_.memtable_series) {
+    // Impossible under the store's commit lock (StageBatch made room, no
+    // writer ran in between, and the store re-checked StagedFits);
+    // publishing anyway would reallocate the memtable under lock-free
+    // snapshot readers.
+    return Status::Internal("staged batch no longer fits the memtable");
+  }
+  StateWriteLock state_lock(this);
+  if (staged.run != nullptr) {
+    runs_.push_back(std::move(staged.run));
+  } else {
+    for (MemEntry& e : staged.entries) {
+      memtable_->push_back(std::move(e));
+      ++memtable_count_;
+    }
+  }
+  return Status::OK();
+}
+
+Status CoconutForest::CompactIfNeeded() {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  if (runs_.size() > options_.max_runs) {
+    return CompactWriterLocked();
+  }
+  return Status::OK();
+}
+
+Status CoconutForest::TruncateRawForRecovery(const std::string& raw_path,
+                                             uint64_t target_bytes) {
+  if (!FileExists(raw_path)) {
+    if (target_bytes == 0) return Status::OK();
+    return Status::Corruption("raw file missing but committed epochs expect " +
+                              std::to_string(target_bytes) + " bytes: " +
+                              raw_path);
+  }
+  uint64_t size = 0;
+  COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &size));
+  if (size < target_bytes) {
+    return Status::Corruption("raw file shorter than committed epoch extent: " +
+                              raw_path);
+  }
+  if (size == target_bytes) return Status::OK();
+  return TruncateFile(raw_path, target_bytes);
+}
+
+uint64_t CoconutForest::raw_size() const {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return raw_bytes_;
 }
 
 Status CoconutForest::Flush() {

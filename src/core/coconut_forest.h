@@ -103,6 +103,62 @@ class CoconutForest {
   /// Batch variant of Insert.
   Status InsertBatch(const std::vector<Series>& batch);
 
+  /// One shard's half of the store's two-phase cross-shard epoch commit
+  /// (see src/store/README.md). StageBatch makes the sub-batch durable and
+  /// query-ready; PublishStaged flips it visible. Between the two calls the
+  /// staged entries are invisible to every snapshot, so the store can
+  /// journal-commit the whole epoch and then publish all shards' slices
+  /// under one visibility lock with no I/O inside it.
+  struct StagedBatch {
+    /// Small slices publish straight into the memtable...
+    std::vector<MemEntry> entries;
+    /// ...slices larger than the memtable are pre-built as a run here in
+    /// stage phase (publication is then an O(1) run-set push).
+    std::shared_ptr<const CoconutTree> run;
+    /// Raw-file byte range the staged append occupies (the store records
+    /// pre_raw_bytes in the epoch journal for torn-batch rollback).
+    uint64_t pre_raw_bytes = 0;
+    uint64_t raw_bytes = 0;
+  };
+
+  /// Phase 1: appends `batch` to the raw file and prepares (but does NOT
+  /// publish) the staged entries. The caller must guarantee no other writer
+  /// touches this forest between StageBatch and PublishStaged (the store's
+  /// commit lock does). On failure the raw tail may hold orphaned bytes;
+  /// the store's epoch journal rolls them back at the next open.
+  Status StageBatch(const std::vector<Series>& batch, StagedBatch* out);
+
+  /// True iff PublishStaged can apply `staged` without flushing (the
+  /// memtable has room, or the slice is a pre-built run). The store checks
+  /// every shard BEFORE publishing any, so an impossible-fit bug fails the
+  /// whole epoch atomically instead of leaving it half-published.
+  bool StagedFits(const StagedBatch& staged) const;
+
+  /// Phase 2: makes the staged entries visible to new snapshots. One short
+  /// exclusive acquisition of the reader-visible lock; never flushes, never
+  /// does I/O (StageBatch pre-flushed the memtable if the slice would have
+  /// overflowed it). The caller must have checked StagedFits; publishing a
+  /// non-fitting slice would reallocate the memtable under lock-free
+  /// readers, so that is rejected without publishing anything.
+  Status PublishStaged(StagedBatch&& staged);
+
+  /// Runs a full compaction iff the run count exceeds options.max_runs
+  /// (deferred maintenance after staged publications, which skip the
+  /// automatic trigger inside InsertBatch).
+  Status CompactIfNeeded();
+
+  /// Recovery hook: truncates a raw dataset file back to `target_bytes`,
+  /// discarding appends whose commit epoch never became durable. Must be
+  /// called before Open (recovery bulk-loads the raw file). Refuses to
+  /// grow the file: a raw file shorter than a committed extent is real
+  /// corruption, not a torn tail.
+  static Status TruncateRawForRecovery(const std::string& raw_path,
+                                       uint64_t target_bytes);
+
+  /// Current raw dataset file size in bytes (writer-synchronized; this is
+  /// the pre-append size the store journals before staging a sub-batch).
+  uint64_t raw_size() const;
+
   /// Flushes the memtable to a run (no-op when empty).
   Status Flush();
 
@@ -169,7 +225,8 @@ class CoconutForest {
   std::string dir_;
 
   // Writer-only state: serialized by writer_mu_, never touched by readers.
-  std::mutex writer_mu_;
+  // Mutable so const inspection (raw_size) can synchronize with writers.
+  mutable std::mutex writer_mu_;
   uint64_t next_run_id_ = 0;
   uint64_t raw_bytes_ = 0;  // current size of the raw file
 

@@ -13,6 +13,13 @@
 // (ShardedStore::MergeShardResults), so even a single expensive query uses
 // every core.
 //
+// Batch visibility: a store snapshot is captured under the store's
+// visibility lock and is stamped with the last committed cross-shard epoch
+// (Snapshot::epoch), so a batch never observes half of a concurrent
+// multi-shard InsertBatch — the read-skew window where some shards showed
+// their slice of a batch and others did not is closed at the store layer
+// (see src/store/README.md, "Cross-shard atomic commit").
+//
 // Results are positionally aligned with the input queries and identical to
 // running the same queries serially (the engine only parallelizes across
 // queries and shards; each individual per-shard query is the ordinary

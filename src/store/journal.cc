@@ -1,0 +1,189 @@
+#include "src/store/journal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/env.h"
+
+namespace coconut {
+
+namespace {
+
+constexpr char kJournalHeader[] = "coconut-store-journal v1";
+
+std::string JournalPath(const std::string& store_dir) {
+  return JoinPath(store_dir, kStoreJournalName);
+}
+
+/// Parses one "<shard>:<pre_raw_bytes>:<count>" slice token.
+bool ParseSlice(const std::string& token, EpochSlice* out) {
+  unsigned long long shard = 0, pre = 0, count = 0;
+  char trail = '\0';
+  if (std::sscanf(token.c_str(), "%llu:%llu:%llu%c", &shard, &pre, &count,
+                  &trail) != 3) {
+    return false;
+  }
+  out->shard = static_cast<size_t>(shard);
+  out->pre_raw_bytes = pre;
+  out->count = count;
+  return true;
+}
+
+/// Parses one journal record line into `records`. Returns false on any
+/// malformation (the caller decides whether that is a torn tail or
+/// corruption); fills *error with the reason.
+bool ParseRecordLine(const std::string& line,
+                     std::vector<EpochRecord>* records, std::string* error) {
+  std::istringstream fields(line);
+  std::string tag;
+  if (!(fields >> tag)) {
+    *error = "empty record";
+    return false;
+  }
+  if (tag == "begin") {
+    uint64_t epoch = 0;
+    size_t nslices = 0;
+    if (!(fields >> epoch >> nslices) || nslices == 0) {
+      *error = "bad begin record";
+      return false;
+    }
+    if (!records->empty() && epoch <= records->back().epoch) {
+      *error = "epochs not strictly increasing";
+      return false;
+    }
+    EpochRecord rec;
+    rec.epoch = epoch;
+    std::string token;
+    while (fields >> token) {
+      EpochSlice slice;
+      if (!ParseSlice(token, &slice)) {
+        *error = "bad slice token: " + token;
+        return false;
+      }
+      for (const EpochSlice& seen : rec.slices) {
+        if (seen.shard == slice.shard) {
+          *error = "duplicate shard in begin record";
+          return false;
+        }
+      }
+      rec.slices.push_back(slice);
+    }
+    if (rec.slices.size() != nslices) {
+      *error = "slice count mismatch";
+      return false;
+    }
+    records->push_back(std::move(rec));
+    return true;
+  }
+  if (tag == "commit") {
+    uint64_t epoch = 0;
+    std::string extra;
+    if (!(fields >> epoch) || (fields >> extra)) {
+      *error = "bad commit record";
+      return false;
+    }
+    if (records->empty() || records->back().epoch != epoch ||
+        records->back().committed) {
+      *error = "commit without matching open begin";
+      return false;
+    }
+    records->back().committed = true;
+    return true;
+  }
+  *error = "unknown record tag: " + tag;
+  return false;
+}
+
+}  // namespace
+
+bool CommitJournal::Exists(const std::string& store_dir) {
+  return FileExists(JournalPath(store_dir));
+}
+
+Status CommitJournal::Reset(const std::string& store_dir) {
+  const std::string final_path = JournalPath(store_dir);
+  const std::string tmp_path = final_path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  COCONUT_RETURN_IF_ERROR(WritableFile::Create(tmp_path, &file));
+  const std::string header = std::string(kJournalHeader) + "\n";
+  COCONUT_RETURN_IF_ERROR(file->Append(header.data(), header.size()));
+  COCONUT_RETURN_IF_ERROR(file->Sync());
+  COCONUT_RETURN_IF_ERROR(file->Close());
+  return RenameFile(tmp_path, final_path);
+}
+
+Status CommitJournal::Open(const std::string& store_dir,
+                           std::unique_ptr<CommitJournal>* out) {
+  const std::string path = JournalPath(store_dir);
+  if (!FileExists(path)) {
+    return Status::Corruption("journal missing: " + path);
+  }
+  std::unique_ptr<WritableFile> file;
+  COCONUT_RETURN_IF_ERROR(WritableFile::OpenForAppend(path, &file));
+  out->reset(new CommitJournal(std::move(file)));
+  return Status::OK();
+}
+
+Status CommitJournal::Scan(const std::string& store_dir,
+                           std::vector<EpochRecord>* records) {
+  records->clear();
+  const std::string path = JournalPath(store_dir);
+  std::unique_ptr<RandomAccessFile> file;
+  COCONUT_RETURN_IF_ERROR(RandomAccessFile::Open(path, &file));
+  std::string body(file->size(), '\0');
+  if (!body.empty()) {
+    COCONUT_RETURN_IF_ERROR(file->Read(0, body.size(), body.data()));
+  }
+
+  // Split into lines up front so the torn-tail rule can target exactly the
+  // last one. A final line without a trailing newline is by definition a
+  // torn append.
+  std::vector<std::string> lines;
+  bool last_line_complete = !body.empty() && body.back() == '\n';
+  std::istringstream stream(body);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+
+  if (lines.empty() || lines[0] != kJournalHeader) {
+    return Status::Corruption("journal: bad header in " + path);
+  }
+  std::string error;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty() || lines[i][0] == '#') continue;
+    if (!ParseRecordLine(lines[i], records, &error)) {
+      const bool is_last = (i + 1 == lines.size());
+      if (is_last && !last_line_complete) {
+        // Torn final append: the record never happened.
+        return Status::OK();
+      }
+      return Status::Corruption("journal: " + error + ": " + lines[i]);
+    }
+  }
+  return Status::OK();
+}
+
+Status CommitJournal::AppendRecord(const std::string& line) {
+  COCONUT_RETURN_IF_ERROR(file_->Append(line.data(), line.size()));
+  return file_->Sync();
+}
+
+Status CommitJournal::AppendBegin(uint64_t epoch,
+                                  const std::vector<EpochSlice>& slices) {
+  if (slices.empty()) {
+    return Status::InvalidArgument("journal: begin record needs slices");
+  }
+  std::ostringstream line;
+  line << "begin " << epoch << " " << slices.size();
+  for (const EpochSlice& s : slices) {
+    line << " " << s.shard << ":" << s.pre_raw_bytes << ":" << s.count;
+  }
+  line << "\n";
+  return AppendRecord(line.str());
+}
+
+Status CommitJournal::AppendCommit(uint64_t epoch) {
+  return AppendRecord("commit " + std::to_string(epoch) + "\n");
+}
+
+}  // namespace coconut

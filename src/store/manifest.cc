@@ -1,6 +1,5 @@
 #include "src/store/manifest.h"
 
-#include <cctype>
 #include <sstream>
 
 #include "src/common/env.h"
@@ -76,6 +75,7 @@ Status WriteStoreManifest(const std::string& store_dir,
   std::ostringstream text;
   text << kManifestHeader << "\n";
   text << "series_length " << manifest.series_length << "\n";
+  text << "last_committed_epoch " << manifest.last_committed_epoch << "\n";
   text << "shards " << manifest.shards.size() << "\n";
   for (size_t i = 0; i < manifest.shards.size(); ++i) {
     const ShardInfo& s = manifest.shards[i];
@@ -110,14 +110,33 @@ Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out) {
     return Status::Corruption("manifest: bad header");
   }
   size_t declared_shards = 0;
+  bool have_series_length = false;
+  bool have_epoch = false;
+  bool have_shards = false;
   while (std::getline(lines, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     std::string tag;
     fields >> tag;
     if (tag == "series_length") {
+      if (have_series_length) {
+        return Status::Corruption("manifest: duplicate series_length: " + line);
+      }
+      have_series_length = true;
       fields >> manifest.series_length;
+    } else if (tag == "last_committed_epoch") {
+      if (have_epoch) {
+        return Status::Corruption("manifest: duplicate last_committed_epoch: " +
+                                  line);
+      }
+      have_epoch = true;
+      fields >> manifest.last_committed_epoch;
     } else if (tag == "shards") {
+      if (have_shards) {
+        return Status::Corruption("manifest: duplicate shards directive: " +
+                                  line);
+      }
+      have_shards = true;
       fields >> declared_shards;
     } else if (tag == "shard") {
       size_t index = 0;
@@ -135,6 +154,16 @@ Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out) {
     if (fields.fail()) {
       return Status::Corruption("manifest: malformed line: " + line);
     }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::Corruption("manifest: trailing tokens: " + line);
+    }
+  }
+  if (!have_series_length) {
+    return Status::Corruption("manifest: missing series_length directive");
+  }
+  if (!have_shards) {
+    return Status::Corruption("manifest: missing shards directive");
   }
   if (manifest.shards.size() != declared_shards) {
     return Status::Corruption("manifest: shard count mismatch");

@@ -19,9 +19,17 @@
 //
 //   coconut-store-manifest v1
 //   series_length <n>
+//   last_committed_epoch <e>
 //   shards <N>
 //   shard <i> <lower-bound: 64 hex chars> <dir> <entries>
 //   ...
+//
+// Parsing is strict: every directive must be well-formed with no trailing
+// tokens, `series_length` and `shards` must appear exactly once (and
+// `last_committed_epoch` at most once — absent means 0, for manifests
+// written before the epoch journal existed), and shard lines must be dense
+// and in order. Any violation is reported as Corruption naming the
+// offending line.
 //
 // Shard i owns keys in [lower_bound[i], lower_bound[i+1]) — the last shard
 // is unbounded above. lower_bound[0] must be the zero key so every key is
@@ -52,6 +60,11 @@ struct ShardInfo {
 struct StoreManifest {
   uint64_t version = 1;
   uint64_t series_length = 0;
+  /// Highest cross-shard commit epoch known durable at the last manifest
+  /// commit. A lower bound only: the JOURNAL may record later committed
+  /// epochs; recovery takes the max of both. New epochs always number above
+  /// this even when the journal has been reset.
+  uint64_t last_committed_epoch = 0;
   std::vector<ShardInfo> shards;
 
   /// Structural checks: version, non-empty strictly-increasing boundaries

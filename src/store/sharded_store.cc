@@ -1,5 +1,6 @@
 #include "src/store/sharded_store.h"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -36,7 +37,101 @@ ZKey ShardLowerBound(size_t index, size_t num_shards) {
   return KeyFromWords(words);
 }
 
+/// Prefixes a shard failure with the shard id so callers can tell WHICH
+/// shard of a routed write failed.
+Status TagShard(size_t shard, const Status& st) {
+  if (st.ok()) return st;
+  const std::string msg = "shard " + std::to_string(shard) + ": " +
+                          st.ToString();
+  switch (st.code()) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case Status::Code::kCorruption:
+      return Status::Corruption(msg);
+    case Status::Code::kNotFound:
+      return Status::NotFound(msg);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(msg);
+    case Status::Code::kInternal:
+      return Status::Internal(msg);
+    default:
+      return Status::IOError(msg);
+  }
+}
+
 }  // namespace
+
+Status ShardedStore::RecoverFromJournal(const std::string& dir,
+                                        StoreManifest* manifest,
+                                        uint64_t* next_epoch) {
+  uint64_t max_epoch = manifest->last_committed_epoch;
+  uint64_t last_committed = manifest->last_committed_epoch;
+  const size_t num_shards = manifest->shards.size();
+  const uint64_t series_bytes = manifest->series_length * sizeof(Value);
+
+  // Per-shard rollback point (smallest pre-append offset of any uncommitted
+  // epoch) and committed floor (largest extent any committed epoch reaches;
+  // the raw file must never end below it).
+  std::vector<uint64_t> cut(num_shards, UINT64_MAX);
+  std::vector<uint64_t> committed_floor(num_shards, 0);
+  if (CommitJournal::Exists(dir)) {
+    std::vector<EpochRecord> records;
+    COCONUT_RETURN_IF_ERROR(CommitJournal::Scan(dir, &records));
+    for (const EpochRecord& rec : records) {
+      max_epoch = std::max(max_epoch, rec.epoch);
+      if (rec.committed) last_committed = std::max(last_committed, rec.epoch);
+      for (const EpochSlice& slice : rec.slices) {
+        if (slice.shard >= num_shards) {
+          return Status::Corruption("journal: record names unknown shard " +
+                                    std::to_string(slice.shard));
+        }
+        if (rec.committed) {
+          committed_floor[slice.shard] =
+              std::max(committed_floor[slice.shard],
+                       slice.pre_raw_bytes + slice.count * series_bytes);
+        } else {
+          cut[slice.shard] =
+              std::min(cut[slice.shard], slice.pre_raw_bytes);
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    const std::string raw_path =
+        JoinPath(JoinPath(dir, manifest->shards[i].dir), "raw.bin");
+    uint64_t size = 0;
+    if (FileExists(raw_path)) {
+      COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &size));
+    }
+    if (cut[i] < committed_floor[i]) {
+      // Epochs are serialized, so a torn epoch can only sit AFTER every
+      // committed one; overlap means the journal itself is damaged.
+      return Status::Corruption(
+          "journal: torn epoch overlaps a committed epoch on shard " +
+          std::to_string(i));
+    }
+    // Roll back the torn epoch's slice, then any torn single-series write
+    // left by a crashed journal-free append (the raw file is a headerless
+    // array of fixed-size series, so a tail that is not a whole series
+    // count is by definition torn).
+    uint64_t target = std::min<uint64_t>(size, cut[i]);
+    target -= target % series_bytes;
+    if (target < committed_floor[i]) {
+      return Status::Corruption(
+          "shard " + std::to_string(i) +
+          " raw file shorter than its committed epoch extent");
+    }
+    if (size > target) {
+      COCONUT_RETURN_IF_ERROR(
+          CoconutForest::TruncateRawForRecovery(raw_path, target));
+    }
+  }
+
+  manifest->last_committed_epoch = last_committed;
+  *next_epoch = max_epoch + 1;
+  return Status::OK();
+}
 
 Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
                           std::unique_ptr<ShardedStore>* out) {
@@ -56,6 +151,15 @@ Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
       return Status::InvalidArgument(
           "store was created with a different series_length");
     }
+    // Replay the epoch journal BEFORE any forest opens: torn shard tails
+    // must be truncated away before recovery bulk-loads the raw files.
+    COCONUT_RETURN_IF_ERROR(RecoverFromJournal(dir, &store->manifest_,
+                                               &store->next_epoch_));
+    // Persist the recovered state, then retire the applied records. The
+    // order is crash-safe: truncation is idempotent, so a crash between
+    // these steps just replays the same (now no-op) recovery.
+    COCONUT_RETURN_IF_ERROR(WriteStoreManifest(dir, store->manifest_));
+    COCONUT_RETURN_IF_ERROR(CommitJournal::Reset(dir));
   } else {
     // A directory holding shard data but no manifest is a damaged store,
     // not a new one: re-partitioning with the caller's num_shards would
@@ -76,8 +180,12 @@ Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
       manifest.shards.push_back(std::move(info));
     }
     COCONUT_RETURN_IF_ERROR(WriteStoreManifest(dir, manifest));
+    COCONUT_RETURN_IF_ERROR(CommitJournal::Reset(dir));
     store->manifest_ = std::move(manifest);
   }
+  store->committed_epoch_.store(store->manifest_.last_committed_epoch,
+                                std::memory_order_release);
+  COCONUT_RETURN_IF_ERROR(CommitJournal::Open(dir, &store->journal_));
 
   // Open every shard forest. Each forest recovers its run state from the
   // shard's raw dataset file (the write-ahead source of truth), so no run
@@ -115,59 +223,170 @@ size_t ShardedStore::ShardForSeries(const Series& series) const {
       InvSaxFromSeries(series.data(), options_.forest.tree.summary));
 }
 
+Status ShardedStore::Fault(CommitPoint point, size_t shard) const {
+  if (!options_.commit_fault_hook) return Status::OK();
+  return options_.commit_fault_hook(point, shard);
+}
+
+Status ShardedStore::Poison(const Status& cause) {
+  if (!cause.ok() && poison_.ok()) {
+    poison_ = Status::IOError(
+        "store is read-only until reopened (commit protocol failure): " +
+        cause.ToString());
+  }
+  return cause;
+}
+
 Status ShardedStore::Insert(const Series& series) {
   if (series.size() != options_.forest.tree.summary.series_length) {
     return Status::InvalidArgument("series length mismatch");
   }
-  return shards_[ShardForSeries(series)]->Insert(series);
+  const size_t shard = ShardForSeries(series);
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  COCONUT_RETURN_IF_ERROR(poison_);
+  return TagShard(shard, shards_[shard]->Insert(series));
 }
 
 Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
+  if (batch.empty()) return Status::OK();
   const size_t n = options_.forest.tree.summary.series_length;
   for (const Series& s : batch) {
     if (s.size() != n) {
       return Status::InvalidArgument("series length mismatch");
     }
   }
-  // Route every series, and hand the whole batch straight to the owner
-  // when a single shard gets everything (always true for 1-shard stores) —
-  // no copy, no dispatch overhead.
+  // Route every series (invSAX summarization) before taking the commit
+  // lock: summarizing is pure CPU work on caller-owned data.
   std::vector<size_t> owner(batch.size());
   bool single_shard = true;
   for (size_t i = 0; i < batch.size(); ++i) {
     owner[i] = ShardForSeries(batch[i]);
     if (owner[i] != owner[0]) single_shard = false;
   }
-  if (batch.empty()) return Status::OK();
-  if (single_shard) return shards_[owner[0]]->InsertBatch(batch);
 
-  // Split by owning shard, then insert the sub-batches concurrently: the
-  // first non-empty shard runs on the calling thread (caller participation
-  // keeps a saturated pool from stalling the write), the rest as pool tasks.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  COCONUT_RETURN_IF_ERROR(poison_);
+  if (single_shard) {
+    // Fast path (always taken by 1-shard stores): the epoch journal is
+    // skipped entirely. Crash semantics are the unsharded forest's
+    // raw-file-as-WAL semantics — reopen restores a whole-series prefix
+    // of the append (never a torn series, but possibly a prefix of a
+    // multi-series batch); there is no cross-shard state to tear.
+    return TagShard(owner[0], shards_[owner[0]]->InsertBatch(batch));
+  }
+
   std::vector<std::vector<Series>> buckets(shards_.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     buckets[owner[i]].push_back(batch[i]);
   }
-  std::vector<std::future<Status>> pending;
-  int inline_shard = -1;
+  return CommitCrossShardLocked(std::move(buckets));
+}
+
+Status ShardedStore::CommitCrossShardLocked(
+    std::vector<std::vector<Series>> buckets) {
+  std::vector<size_t> touched;
   for (size_t i = 0; i < buckets.size(); ++i) {
-    if (buckets[i].empty()) continue;
-    if (inline_shard < 0) {
-      inline_shard = static_cast<int>(i);
-      continue;
+    if (!buckets[i].empty()) touched.push_back(i);
+  }
+
+  // 1. Stamp the batch with the next epoch and journal its begin record —
+  //    which shards it touches, where each slice will land, how many
+  //    series each gets — BEFORE any shard is touched. O(shards), not
+  //    O(batch).
+  const uint64_t epoch = next_epoch_++;
+  std::vector<EpochSlice> slices;
+  slices.reserve(touched.size());
+  for (size_t i : touched) {
+    slices.push_back(EpochSlice{i, shards_[i]->raw_size(), buckets[i].size()});
+  }
+  COCONUT_RETURN_IF_ERROR(Poison(journal_->AppendBegin(epoch, slices)));
+  COCONUT_RETURN_IF_ERROR(
+      Poison(Fault(CommitPoint::kAfterJournalBegin, SIZE_MAX)));
+
+  // 2. Stage every sub-batch concurrently: durable raw appends plus
+  //    run/memtable preparation, with nothing published yet. The calling
+  //    thread stages the first shard itself (caller participation keeps a
+  //    saturated pool from stalling the write).
+  std::vector<CoconutForest::StagedBatch> staged(buckets.size());
+  std::vector<Status> stage_status(buckets.size());
+  auto stage_one = [this, &buckets, &staged](size_t i) {
+    COCONUT_RETURN_IF_ERROR(Fault(CommitPoint::kShardStage, i));
+    return shards_[i]->StageBatch(buckets[i], &staged[i]);
+  };
+  std::vector<std::future<Status>> pending;
+  for (size_t t = 1; t < touched.size(); ++t) {
+    const size_t i = touched[t];
+    pending.push_back(pool_->Async([&stage_one, i]() { return stage_one(i); }));
+  }
+  stage_status[touched[0]] = stage_one(touched[0]);
+  for (size_t t = 1; t < touched.size(); ++t) {
+    stage_status[touched[t]] = pending[t - 1].get();
+  }
+  std::string failed;
+  for (size_t i : touched) {
+    if (stage_status[i].ok()) continue;
+    if (!failed.empty()) failed += "; ";
+    failed += "shard " + std::to_string(i) + ": " + stage_status[i].ToString();
+  }
+  if (!failed.empty()) {
+    // The batch is torn: some shards hold their slice durably, others do
+    // not. Name every failed shard (the journal keeps the partial state
+    // recoverable; the status makes it observable) and poison the store so
+    // the torn tail stays the LAST journaled epoch until recovery runs.
+    return Poison(Status::IOError("cross-shard batch torn at epoch " +
+                                  std::to_string(epoch) + ": " + failed));
+  }
+
+  // 3. Every slice is durable: commit the epoch.
+  COCONUT_RETURN_IF_ERROR(
+      Poison(Fault(CommitPoint::kBeforeJournalCommit, SIZE_MAX)));
+  COCONUT_RETURN_IF_ERROR(Poison(journal_->AppendCommit(epoch)));
+  COCONUT_RETURN_IF_ERROR(
+      Poison(Fault(CommitPoint::kAfterJournalCommit, SIZE_MAX)));
+
+  // 4. Publish all slices in one step. Readers capture snapshots under the
+  //    shared side of visibility_mu_, so a snapshot sees either none or
+  //    all of this epoch — no cross-shard read skew. Publication is bounded
+  //    work (memtable pushes or an O(1) run install; staging pre-flushed),
+  //    never I/O. Every shard's fit is verified BEFORE any shard publishes:
+  //    a failure here (impossible under the commit lock, but an invariant
+  //    bug must not half-publish the epoch) leaves the epoch entirely
+  //    unpublished — journal-committed, so reopen recovers it, exactly the
+  //    kAfterJournalCommit crash shape.
+  {
+    std::unique_lock<std::shared_mutex> visibility_lock(visibility_mu_);
+    for (size_t i : touched) {
+      if (!shards_[i]->StagedFits(staged[i])) {
+        return Poison(Status::Internal(
+            "epoch " + std::to_string(epoch) + " slice for shard " +
+            std::to_string(i) + " no longer fits its memtable"));
+      }
     }
-    pending.push_back(pool_->Async(
-        [this, i, &buckets]() { return shards_[i]->InsertBatch(buckets[i]); }));
+    for (size_t i : touched) {
+      COCONUT_RETURN_IF_ERROR(
+          Poison(shards_[i]->PublishStaged(std::move(staged[i]))));
+    }
+    committed_epoch_.store(epoch, std::memory_order_release);
   }
-  Status first_error = Status::OK();
-  if (inline_shard >= 0) {
-    first_error = shards_[inline_shard]->InsertBatch(buckets[inline_shard]);
+
+  // 5. Deferred maintenance outside the visibility lock: staged
+  //    publications skip the forest's automatic compaction trigger, so run
+  //    it now for every touched shard (concurrently). The batch IS
+  //    committed at this point, so the batch reports OK even if a
+  //    compaction fails — returning the failure here would read as "batch
+  //    did not land" and invite a duplicating retry. A failed compaction
+  //    just leaves extra runs (slower queries, nothing lost); the error
+  //    resurfaces from the next explicit CompactAll/Flush or the next
+  //    trigger on that shard.
+  std::vector<std::future<Status>> compactions;
+  for (size_t t = 1; t < touched.size(); ++t) {
+    const size_t i = touched[t];
+    compactions.push_back(
+        pool_->Async([this, i]() { return shards_[i]->CompactIfNeeded(); }));
   }
-  for (auto& f : pending) {
-    const Status st = f.get();
-    if (first_error.ok() && !st.ok()) first_error = st;
-  }
-  return first_error;
+  (void)shards_[touched[0]]->CompactIfNeeded();
+  for (auto& f : compactions) (void)f.get();
+  return Status::OK();
 }
 
 Status ShardedStore::ForEachShardParallel(
@@ -189,13 +408,31 @@ Status ShardedStore::CommitManifestLocked() {
   for (size_t i = 0; i < shards_.size(); ++i) {
     manifest_.shards[i].entries = shards_[i]->num_entries();
   }
-  return WriteStoreManifest(dir_, manifest_);
+  manifest_.last_committed_epoch =
+      committed_epoch_.load(std::memory_order_acquire);
+  COCONUT_RETURN_IF_ERROR(WriteStoreManifest(dir_, manifest_));
+  // Checkpoint the journal: under commit_mu_ no epoch is in flight, the
+  // store is not poisoned (write entry points check first), and the
+  // manifest just durably recorded the committed-epoch floor — every
+  // journal record is now obsolete. Resetting here bounds journal growth
+  // (and the next open's replay) to the epochs between manifest commits.
+  // A crash between the manifest write and the reset only means the next
+  // open replays records that are all committed — a no-op. A failed Reset
+  // leaves the old journal (and our handle to it) fully intact, so that is
+  // a plain error; losing the handle AFTER a successful reset must poison,
+  // or the next multi-shard batch would journal into a null handle.
+  COCONUT_RETURN_IF_ERROR(CommitJournal::Reset(dir_));
+  journal_.reset();
+  const Status reopened = CommitJournal::Open(dir_, &journal_);
+  if (!reopened.ok()) return Poison(reopened);
+  return Status::OK();
 }
 
 Status ShardedStore::Flush() {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  COCONUT_RETURN_IF_ERROR(poison_);
   COCONUT_RETURN_IF_ERROR(
       ForEachShardParallel([this](size_t i) { return shards_[i]->Flush(); }));
-  std::lock_guard<std::mutex> lock(manifest_mu_);
   return CommitManifestLocked();
 }
 
@@ -204,14 +441,17 @@ Status ShardedStore::CompactAll() {
   // concurrently. Level 2 happens inside each shard, where the runs-merge
   // is chunked over the same pool (nested ParallelFor is deadlock-free by
   // caller participation).
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  COCONUT_RETURN_IF_ERROR(poison_);
   COCONUT_RETURN_IF_ERROR(ForEachShardParallel(
       [this](size_t i) { return shards_[i]->CompactAll(); }));
-  std::lock_guard<std::mutex> lock(manifest_mu_);
   return CommitManifestLocked();
 }
 
 ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
+  std::shared_lock<std::shared_mutex> visibility_lock(visibility_mu_);
   Snapshot snap;
+  snap.epoch = committed_epoch_.load(std::memory_order_acquire);
   snap.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     snap.shards.push_back(shard->GetSnapshot());
@@ -220,7 +460,10 @@ ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
 }
 
 uint64_t ShardedStore::num_entries() const {
-  return GetSnapshot().num_entries();
+  std::shared_lock<std::shared_mutex> visibility_lock(visibility_mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_entries();
+  return total;
 }
 
 void ShardedStore::MergeShardResults(const std::vector<SearchResult>& per_shard,

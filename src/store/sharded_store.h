@@ -9,13 +9,23 @@
 // reopened after a restart routes keys identically.
 //
 // Writes route by invSAX key to the owning shard; batch inserts are split
-// per shard and dispatched concurrently on the shared ThreadPool (the
-// calling thread works one sub-batch itself, so a saturated pool degrades
-// to serial execution, never deadlock). Each shard compacts independently —
-// CompactAll runs the per-shard compactions concurrently, and within one
-// shard the runs-merge is itself chunked over the pool
+// per shard and the sub-batches staged concurrently on the shared
+// ThreadPool (the calling thread works one sub-batch itself, so a saturated
+// pool degrades to serial execution, never deadlock). Each shard compacts
+// independently — CompactAll runs the per-shard compactions concurrently,
+// and within one shard the runs-merge is itself chunked over the pool
 // (CoconutForest::MergeRunsParallel) — the two levels of parallel
 // compaction.
+//
+// Cross-shard batches are ATOMIC and crash-consistent (the group-commit
+// epoch protocol, see src/store/README.md and journal.h): a multi-shard
+// InsertBatch is stamped with a store-wide epoch, journaled before any
+// shard is touched, staged durably per shard, journal-committed, and only
+// then published — all shards' slices become visible in one step, so a
+// concurrent snapshot never sees half a batch, and a crash at any point
+// reopens to exactly the prefix of fully-committed epochs (torn shard
+// tails are truncated on recovery). Single-shard batches skip the journal
+// entirely: one raw-file append is already atomic on recovery.
 //
 // Queries take a store snapshot (one CoconutForest::Snapshot per shard) and
 // fan out across shards; per-shard k-NN answers merge through KnnCollector.
@@ -23,10 +33,8 @@
 // global top-k — the same argument that makes the forest's per-run merge
 // exact. A QueryEngine batch takes ONE store snapshot up front, so snapshot
 // isolation holds across the whole store: every query in the batch sees the
-// same point-in-time state on every shard. (Each shard's snapshot is
-// internally consistent; a concurrent cross-shard batch insert may be
-// visible on some shards and not yet on others, exactly like two
-// independent LSM engines.)
+// same point-in-time state on every shard, and only fully-committed
+// cross-shard epochs.
 //
 // Offsets: each shard has its own raw dataset file, so a neighbor's
 // raw-file offset is only meaningful within its shard. Store-level results
@@ -36,10 +44,12 @@
 #ifndef COCONUT_STORE_SHARDED_STORE_H_
 #define COCONUT_STORE_SHARDED_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,9 +58,27 @@
 #include "src/core/coconut_forest.h"
 #include "src/exec/thread_pool.h"
 #include "src/series/series.h"
+#include "src/store/journal.h"
 #include "src/store/manifest.h"
 
 namespace coconut {
+
+/// Kill points in the cross-shard commit protocol, in protocol order.
+/// Exposed for fault-injection tests (StoreOptions::commit_fault_hook);
+/// each one models a crash or I/O failure at that exact point.
+enum class CommitPoint {
+  /// Begin record durable, no shard has received data yet.
+  kAfterJournalBegin,
+  /// About to stage one shard's sub-batch (the hook's shard argument says
+  /// which); failing here leaves OTHER shards' slices on disk — the torn
+  /// batch recovery must roll back.
+  kShardStage,
+  /// Every shard's append is durable but the commit record is not.
+  kBeforeJournalCommit,
+  /// Commit record durable, nothing published to readers yet; the batch
+  /// must SURVIVE reopen.
+  kAfterJournalCommit,
+};
 
 struct StoreOptions {
   /// Per-shard forest configuration (memtable size, run threshold, tree).
@@ -58,6 +86,13 @@ struct StoreOptions {
   /// Shards to create for a NEW store. Reopening an existing store always
   /// uses the shard count and boundaries pinned in its manifest.
   size_t num_shards = 4;
+
+  /// TEST-ONLY fault injection into the cross-shard commit protocol: when
+  /// set, invoked at every CommitPoint (shard is the shard id for
+  /// kShardStage, SIZE_MAX otherwise; called from pool threads, so the
+  /// hook must be thread-safe). Returning non-OK simulates a crash at that
+  /// point: the batch fails and the store poisons itself until reopened.
+  std::function<Status(CommitPoint, size_t shard)> commit_fault_hook;
 
   Status Validate() const {
     COCONUT_RETURN_IF_ERROR(forest.Validate());
@@ -78,9 +113,13 @@ class ShardedStore {
 
   /// A point-in-time view of the whole store: one forest snapshot per
   /// shard, indexed by shard id. Cheap to copy; queries against it never
-  /// block, and are never affected by, concurrent writers.
+  /// block, and are never affected by, concurrent writers. Captured under
+  /// the store's visibility lock, so it exposes whole cross-shard epochs
+  /// only — never half a batch.
   struct Snapshot {
     std::vector<CoconutForest::Snapshot> shards;
+    /// Last cross-shard epoch committed (and published) at capture time.
+    uint64_t epoch = 0;
 
     uint64_t num_entries() const {
       uint64_t total = 0;
@@ -97,12 +136,19 @@ class ShardedStore {
   static Status Open(const std::string& dir, const StoreOptions& options,
                      std::unique_ptr<ShardedStore>* out);
 
-  /// Routes one series to its owning shard. Serialized with other writers
-  /// of that shard only.
+  /// Routes one series to its owning shard. Store-level writers are
+  /// serialized by the commit lock.
   Status Insert(const Series& series);
 
-  /// Splits the batch by invSAX key and inserts the per-shard sub-batches
-  /// concurrently on the shared pool.
+  /// Splits the batch by invSAX key and stages the per-shard sub-batches
+  /// concurrently on the shared pool. A batch touching a single shard
+  /// (always true for 1-shard stores) takes the journal-free fast path; a
+  /// multi-shard batch commits atomically under the epoch protocol. OK
+  /// means the whole batch is committed and published (deferred
+  /// compaction hiccups never fail a committed batch — they resurface
+  /// from the next Flush/CompactAll); on a torn commit the returned
+  /// Status names every failed shard and the store refuses further writes
+  /// until reopened (recovery rolls the torn epoch back).
   Status InsertBatch(const std::vector<Series>& batch);
 
   /// Flushes every shard's memtable (concurrently) and re-commits the
@@ -152,7 +198,13 @@ class ShardedStore {
   size_t ShardForSeries(const Series& series) const;
 
   size_t num_shards() const { return shards_.size(); }
+  /// Total entries across shards (direct per-shard sums under the
+  /// visibility lock — no store snapshot is materialized).
   uint64_t num_entries() const;
+  /// Last cross-shard epoch committed and published.
+  uint64_t committed_epoch() const {
+    return committed_epoch_.load(std::memory_order_acquire);
+  }
   const CoconutForest& shard(size_t i) const { return *shards_[i]; }
   /// The shard's raw dataset file (local offsets point into this).
   const std::string& shard_raw_path(size_t i) const { return raw_paths_[i]; }
@@ -165,8 +217,24 @@ class ShardedStore {
   /// executes one shard itself) and returns the first failure.
   Status ForEachShardParallel(
       const std::function<Status(size_t)>& fn) const;
-  /// Re-commits the manifest with current advisory entry counts.
+  /// Re-commits the manifest with current advisory entry counts and the
+  /// last committed epoch, then checkpoints (resets) the journal — its
+  /// records are all obsolete once the manifest holds the epoch floor.
+  /// Requires commit_mu_ held and the store not poisoned.
   Status CommitManifestLocked();
+  /// Journal replay at Open: truncates torn shard tails (uncommitted
+  /// epochs, torn single-series writes) and advances the epoch floor.
+  static Status RecoverFromJournal(const std::string& dir,
+                                   StoreManifest* manifest,
+                                   uint64_t* next_epoch);
+  /// The atomic multi-shard commit (epoch + journal + staged publication);
+  /// requires commit_mu_ held.
+  Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets);
+  /// Invokes the test-only fault hook at `point` (no-op when unset).
+  Status Fault(CommitPoint point, size_t shard) const;
+  /// Marks the store write-poisoned after a torn commit; requires
+  /// commit_mu_ held. Returns `cause` for convenient chaining.
+  Status Poison(const Status& cause);
 
   StoreOptions options_;
   std::string dir_;
@@ -174,8 +242,28 @@ class ShardedStore {
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<CoconutForest>> shards_;
   std::vector<std::string> raw_paths_;
-  // Serializes manifest re-commits (shard writers serialize themselves).
-  mutable std::mutex manifest_mu_;
+  std::unique_ptr<CommitJournal> journal_;
+
+  // Store-level writers (Insert/InsertBatch/Flush/CompactAll) serialize on
+  // commit_mu_: epochs are assigned, journaled, staged, and published in
+  // order (the group-commit discipline — batching concurrent writers into
+  // one epoch is the named follow-on). The manifest is also re-committed
+  // under this lock.
+  std::mutex commit_mu_;
+  // Next epoch to assign (under commit_mu_); always above every epoch ever
+  // journaled, even across reopens.
+  uint64_t next_epoch_ = 1;
+  // Set after a torn cross-shard commit: every later write returns this
+  // status until the store is reopened (recovery rolls the epoch back).
+  // Guarded by commit_mu_.
+  Status poison_;
+  // Last epoch committed AND published (atomic so snapshots can stamp
+  // themselves without taking commit_mu_).
+  std::atomic<uint64_t> committed_epoch_{0};
+  // Publication/visibility lock: multi-shard publications hold it
+  // exclusively (short, no I/O), snapshots and counts hold it shared — a
+  // snapshot can never observe half an epoch.
+  mutable std::shared_mutex visibility_mu_;
 };
 
 }  // namespace coconut

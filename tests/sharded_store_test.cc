@@ -1,6 +1,8 @@
 // ShardedStore: manifest round-trip and crash recovery, key-space routing,
-// cross-shard k-NN equivalence against a single unsharded forest, and a
-// multi-shard reader/writer stress test (a ThreadSanitizer target, see
+// cross-shard k-NN equivalence against a single unsharded forest, the
+// cross-shard atomic-commit protocol (fault-injection kill-point matrix,
+// epoch journal torn-tail handling, strict manifest parsing), and
+// multi-shard reader/writer stress tests (ThreadSanitizer targets, see
 // .github/workflows/ci.yml).
 #include "src/store/sharded_store.h"
 
@@ -9,12 +11,14 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
+#include "src/store/journal.h"
 #include "src/store/manifest.h"
 #include "src/summary/invsax.h"
 #include "tests/test_util.h"
@@ -267,6 +271,464 @@ TEST(ShardedStore, RejectsCorruptManifestAndMismatchedOptions) {
     const Status st = ShardedStore::Open(root, SmallStore(dir, 2), &store);
     EXPECT_TRUE(st.IsCorruption()) << st.ToString();
   }
+}
+
+// --- Strict manifest parsing ------------------------------------------------
+
+const char kZeroKeyHex[] =
+    "0000000000000000000000000000000000000000000000000000000000000000";
+
+std::string ValidManifestText() {
+  return std::string("coconut-store-manifest v1\n") +
+         "series_length 64\n" +
+         "last_committed_epoch 0\n" +
+         "shards 1\n" +
+         "shard 0 " + kZeroKeyHex + " shard-0 0\n";
+}
+
+void WriteManifestText(const std::string& root, const std::string& text) {
+  std::ofstream(JoinPath(root, kStoreManifestName)) << text;
+}
+
+TEST(StoreManifestStrict, AcceptsValidManifest) {
+  ScratchDir dir;
+  WriteManifestText(dir.path(), ValidManifestText());
+  StoreManifest m;
+  ASSERT_OK(ReadStoreManifest(dir.path(), &m));
+  EXPECT_EQ(m.series_length, 64u);
+  EXPECT_EQ(m.last_committed_epoch, 0u);
+  EXPECT_EQ(m.shards.size(), 1u);
+  // A manifest written before the epoch journal existed (no
+  // last_committed_epoch directive) still parses, defaulting to epoch 0.
+  WriteManifestText(dir.path(),
+                    std::string("coconut-store-manifest v1\n") +
+                        "series_length 64\nshards 1\nshard 0 " + kZeroKeyHex +
+                        " shard-0 0\n");
+  ASSERT_OK(ReadStoreManifest(dir.path(), &m));
+  EXPECT_EQ(m.last_committed_epoch, 0u);
+}
+
+TEST(StoreManifestStrict, RejectsMalformedInputNamingTheLine) {
+  struct Case {
+    const char* name;
+    std::string text;
+    const char* expect_in_message;
+  };
+  const std::string valid = ValidManifestText();
+  const std::vector<Case> cases = {
+      {"duplicate series_length", valid + "series_length 64\n",
+       "duplicate series_length"},
+      {"duplicate shards", valid + "shards 1\n", "duplicate shards"},
+      {"duplicate last_committed_epoch", valid + "last_committed_epoch 3\n",
+       "duplicate last_committed_epoch"},
+      {"trailing tokens on shard line",
+       std::string("coconut-store-manifest v1\nseries_length 64\nshards 1\n") +
+           "shard 0 " + kZeroKeyHex + " shard-0 5 junk\n",
+       "trailing tokens"},
+      {"trailing tokens on series_length",
+       std::string("coconut-store-manifest v1\nseries_length 64 junk\n") +
+           "shards 1\nshard 0 " + kZeroKeyHex + " shard-0 0\n",
+       "trailing tokens"},
+      {"missing series_length",
+       std::string("coconut-store-manifest v1\nshards 1\nshard 0 ") +
+           kZeroKeyHex + " shard-0 0\n",
+       "missing series_length"},
+      {"missing shards directive",
+       std::string("coconut-store-manifest v1\nseries_length 64\nshard 0 ") +
+           kZeroKeyHex + " shard-0 0\n",
+       "missing shards"},
+      {"non-numeric series_length",
+       std::string("coconut-store-manifest v1\nseries_length abc\nshards 1\n") +
+           "shard 0 " + kZeroKeyHex + " shard-0 0\n",
+       "malformed line"},
+  };
+  for (const Case& c : cases) {
+    ScratchDir dir;
+    WriteManifestText(dir.path(), c.text);
+    StoreManifest m;
+    const Status st = ReadStoreManifest(dir.path(), &m);
+    EXPECT_TRUE(st.IsCorruption()) << c.name << ": " << st.ToString();
+    EXPECT_NE(st.message().find(c.expect_in_message), std::string::npos)
+        << c.name << ": " << st.ToString();
+  }
+}
+
+// --- Cross-shard atomic commit: kill-point matrix ---------------------------
+
+/// Brute-force reference distances over `data` (ascending, top k).
+std::vector<double> OracleTopK(const std::vector<Series>& data,
+                               const Series& query, size_t k) {
+  std::vector<double> dists;
+  dists.reserve(data.size());
+  for (const Series& s : data) {
+    double sum = 0.0;
+    for (size_t j = 0; j < kSeriesLen; ++j) {
+      const double d =
+          static_cast<double>(s[j]) - static_cast<double>(query[j]);
+      sum += d * d;
+    }
+    dists.push_back(std::sqrt(sum));
+  }
+  std::sort(dists.begin(), dists.end());
+  if (dists.size() > k) dists.resize(k);
+  return dists;
+}
+
+/// Asserts the recovered store answers k-NN exactly like a fresh unsharded
+/// forest over `expected` (and both match the brute-force oracle) —
+/// distances included, with duplicate series in the data producing ties.
+void ExpectStoreMatchesUnshardedForest(const ScratchDir& dir,
+                                       ShardedStore* store,
+                                       const std::vector<Series>& expected,
+                                       const std::string& tag) {
+  ForestOptions fopts = SmallStore(dir, 1).forest;
+  std::unique_ptr<CoconutForest> forest;
+  ASSERT_OK(CoconutForest::Open(dir.File("ref-raw-" + tag),
+                                dir.File("ref-forest-" + tag), fopts,
+                                &forest));
+  ASSERT_OK(forest->InsertBatch(expected));
+  const std::vector<Series> queries = MakeSeries(6, 424242);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const size_t k = 1 + qi % 4;
+    SearchResult from_store, from_forest;
+    ASSERT_OK(store->ExactSearch(queries[qi].data(), &from_store, k));
+    ASSERT_OK(forest->ExactSearch(queries[qi].data(), &from_forest, k));
+    const std::vector<double> oracle = OracleTopK(expected, queries[qi], k);
+    ASSERT_EQ(from_store.neighbors.size(), from_forest.neighbors.size())
+        << tag << " query " << qi;
+    ASSERT_EQ(from_store.neighbors.size(), oracle.size())
+        << tag << " query " << qi;
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_NEAR(from_store.neighbors[j].distance,
+                  from_forest.neighbors[j].distance, 1e-9)
+          << tag << " query " << qi << " rank " << j;
+      EXPECT_NEAR(from_store.neighbors[j].distance, oracle[j], 1e-4)
+          << tag << " query " << qi << " rank " << j;
+    }
+  }
+}
+
+TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
+  struct Kill {
+    CommitPoint point;
+    bool batch_survives;  // commit record durable before the "crash"?
+    const char* name;
+  };
+  const std::vector<Kill> kills = {
+      {CommitPoint::kAfterJournalBegin, false, "after-begin"},
+      {CommitPoint::kShardStage, false, "shard-stage"},
+      {CommitPoint::kBeforeJournalCommit, false, "before-commit"},
+      {CommitPoint::kAfterJournalCommit, true, "after-commit"},
+  };
+
+  for (const Kill& kill : kills) {
+    SCOPED_TRACE(kill.name);
+    ScratchDir dir;
+    const std::string root = dir.File("store");
+
+    // Data with deliberate duplicates so recovered k-NN has distance ties.
+    std::vector<Series> data = MakeSeries(220, 7000);
+    for (size_t i = 0; i < 20; ++i) data.push_back(data[i * 7]);
+    const std::vector<Series> committed(data.begin(), data.begin() + 160);
+    const std::vector<Series> torn(data.begin() + 160, data.end());
+
+    // The fault hook stays dormant until armed, then fires once at the
+    // chosen kill point (for kShardStage: only on the victim shard, so
+    // every OTHER shard durably stages its slice — the torn state).
+    auto armed = std::make_shared<std::atomic<bool>>(false);
+    auto victim = std::make_shared<std::atomic<size_t>>(SIZE_MAX);
+    StoreOptions opts = SmallStore(dir, 3);
+    opts.commit_fault_hook = [armed, victim, kill](CommitPoint point,
+                                                   size_t shard) {
+      if (!armed->load() || point != kill.point) return Status::OK();
+      if (kill.point == CommitPoint::kShardStage && shard != victim->load()) {
+        return Status::OK();
+      }
+      return Status::IOError("injected fault");
+    };
+
+    {
+      std::unique_ptr<ShardedStore> store;
+      ASSERT_OK(ShardedStore::Open(root, opts, &store));
+      // The torn batch must actually be multi-shard or the journal-free
+      // fast path would dodge the kill point.
+      std::map<size_t, size_t> owners;
+      for (const Series& s : torn) ++owners[store->ShardForSeries(s)];
+      ASSERT_GT(owners.size(), 1u) << "torn batch routed to a single shard";
+      victim->store(store->ShardForSeries(torn[0]));
+
+      ASSERT_OK(store->InsertBatch(
+          std::vector<Series>(committed.begin(), committed.begin() + 80)));
+      ASSERT_OK(store->InsertBatch(
+          std::vector<Series>(committed.begin() + 80, committed.end())));
+      EXPECT_EQ(store->num_entries(), committed.size());
+
+      armed->store(true);
+      const Status st = store->InsertBatch(torn);
+      EXPECT_FALSE(st.ok()) << st.ToString();
+
+      // The torn epoch is never published in-process either: queries and
+      // counts keep seeing only the committed prefix...
+      EXPECT_EQ(store->num_entries(), committed.size());
+      // ...and the store is write-poisoned until reopened.
+      armed->store(false);
+      const Status poisoned = store->InsertBatch(torn);
+      EXPECT_TRUE(poisoned.IsIOError()) << poisoned.ToString();
+      EXPECT_NE(poisoned.message().find("read-only"), std::string::npos)
+          << poisoned.ToString();
+      // Simulated crash: the store object is dropped with no clean
+      // shutdown; whatever reached disk stays there.
+    }
+
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+    std::vector<Series> expected = committed;
+    if (kill.batch_survives) {
+      expected.insert(expected.end(), torn.begin(), torn.end());
+    }
+    EXPECT_EQ(store->num_entries(), expected.size());
+    ExpectStoreMatchesUnshardedForest(dir, store.get(), expected, kill.name);
+
+    // Recovery fully re-arms the store: the next cross-shard batch commits.
+    ASSERT_OK(store->InsertBatch(MakeSeries(60, 7100)));
+    EXPECT_EQ(store->num_entries(), expected.size() + 60);
+  }
+}
+
+TEST(ShardedStoreRecovery, TornCommitStatusNamesFailedShards) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  const std::vector<Series> batch = MakeSeries(120, 8000);
+
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  auto victim = std::make_shared<std::atomic<size_t>>(SIZE_MAX);
+  StoreOptions opts = SmallStore(dir, 4);
+  opts.commit_fault_hook = [armed, victim](CommitPoint point, size_t shard) {
+    if (!armed->load() || point != CommitPoint::kShardStage) {
+      return Status::OK();
+    }
+    if (shard != victim->load()) return Status::OK();
+    return Status::IOError("disk gone");
+  };
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+  std::map<size_t, size_t> owners;
+  for (const Series& s : batch) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u);
+  victim->store(store->ShardForSeries(batch[0]));
+
+  armed->store(true);
+  const Status st = store->InsertBatch(batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("torn at epoch"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("shard " + std::to_string(victim->load())),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST(ShardedStoreRecovery, JournalTornTailIgnoredInteriorCorruptionRejected) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  const std::vector<Series> data = MakeSeries(150, 9000);
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+    ASSERT_OK(store->InsertBatch(data));
+    EXPECT_EQ(store->num_entries(), data.size());
+  }
+
+  // A torn final append (no trailing newline) is the normal crash shape:
+  // the record never happened, the store reopens cleanly.
+  {
+    std::ofstream journal(JoinPath(root, kStoreJournalName),
+                          std::ios::app | std::ios::binary);
+    journal << "begin 99 2 0:12";  // torn mid-slice, no newline
+  }
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+    EXPECT_EQ(store->num_entries(), data.size());
+  }
+
+  // Interior garbage is real corruption and must refuse to open.
+  {
+    std::ofstream journal(JoinPath(root, kStoreJournalName),
+                          std::ios::binary);
+    journal << "coconut-store-journal v1\n"
+            << "begin 1 1 0:0:banana\n"
+            << "commit 1\n";
+  }
+  std::unique_ptr<ShardedStore> store;
+  const Status st = ShardedStore::Open(root, SmallStore(dir, 2), &store);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(ShardedStoreRecovery, FlushCheckpointsTheJournal) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+
+  const std::vector<Series> data = MakeSeries(200, 9900);
+  // Both batches must be multi-shard or the journal-free fast path would
+  // leave the journal untouched and the size expectations below would
+  // misfire at the wrong cause.
+  std::map<size_t, size_t> first_owners, second_owners;
+  for (size_t i = 0; i < 100; ++i) {
+    ++first_owners[store->ShardForSeries(data[i])];
+    ++second_owners[store->ShardForSeries(data[100 + i])];
+  }
+  ASSERT_GT(first_owners.size(), 1u) << "batch 1 routed to a single shard";
+  ASSERT_GT(second_owners.size(), 1u) << "batch 2 routed to a single shard";
+  ASSERT_OK(store->InsertBatch(
+      std::vector<Series>(data.begin(), data.begin() + 100)));
+  uint64_t journal_size = 0;
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &journal_size));
+  const uint64_t with_records = journal_size;
+
+  // Flush persists the epoch floor into the manifest and retires the
+  // journal records: the file shrinks back to its header.
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &journal_size));
+  EXPECT_LT(journal_size, with_records);
+  const uint64_t header_only = journal_size;
+
+  // The journal keeps working after the checkpoint (new epochs append to
+  // the fresh file) and recovery still sees everything.
+  const uint64_t epoch_before = store->committed_epoch();
+  ASSERT_OK(store->InsertBatch(
+      std::vector<Series>(data.begin() + 100, data.end())));
+  EXPECT_GT(store->committed_epoch(), epoch_before);
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &journal_size));
+  EXPECT_GT(journal_size, header_only);
+  store.reset();
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+  EXPECT_EQ(store->num_entries(), data.size());
+  // Reopen resumes epoch numbering above everything ever journaled.
+  EXPECT_GE(store->committed_epoch(), epoch_before);
+}
+
+TEST(ShardedStoreRecovery, TornSingleSeriesTailRolledBack) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  const std::vector<Series> data = MakeSeries(130, 9500);
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+    ASSERT_OK(store->InsertBatch(data));
+  }
+  // A crash mid-append of a journal-free write can leave a fraction of one
+  // series at a shard's raw tail; recovery must shave it off (the raw file
+  // is a headerless array of fixed-size series).
+  {
+    std::ofstream raw(JoinPath(JoinPath(root, "shard-0"), "raw.bin"),
+                      std::ios::app | std::ios::binary);
+    raw << "torn!";
+  }
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+  EXPECT_EQ(store->num_entries(), data.size());
+  ExpectStoreMatchesUnshardedForest(dir, store.get(), data, "torn-tail");
+}
+
+// --- Atomic cross-shard visibility ------------------------------------------
+
+TEST(ShardedStoreConcurrency, SnapshotsNeverSeeHalfABatch) {
+  ScratchDir dir;
+  StoreOptions opts = SmallStore(dir, 4);
+  opts.forest.memtable_series = 48;  // frequent flushes during publication
+  opts.forest.max_runs = 2;
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(dir.File("store"), opts, &store));
+
+  // Build batches that are GUARANTEED multi-shard: pair series from the two
+  // most popular owner shards, half and half per batch. Every batch then
+  // commits as one epoch of exactly kBatchSize series.
+  const std::vector<Series> raw = MakeSeries(700, 1234);
+  std::map<size_t, std::vector<Series>> by_owner;
+  for (const Series& s : raw) by_owner[store->ShardForSeries(s)].push_back(s);
+  ASSERT_GT(by_owner.size(), 1u);
+  std::vector<std::vector<Series>> pools;
+  for (auto& [shard, pool] : by_owner) {
+    (void)shard;
+    pools.push_back(std::move(pool));
+  }
+  std::sort(pools.begin(), pools.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  constexpr size_t kHalf = 10;
+  constexpr size_t kBatchSize = 2 * kHalf;
+  const size_t num_batches =
+      std::min(pools[0].size(), pools[1].size()) / kHalf;
+  ASSERT_GT(num_batches, 3u);
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> failures;
+  std::mutex failures_mu;
+  auto record_failure = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(msg);
+  };
+
+  std::thread writer([&]() {
+    for (size_t b = 0; b < num_batches; ++b) {
+      std::vector<Series> batch;
+      for (size_t j = 0; j < kHalf; ++j) {
+        batch.push_back(pools[0][b * kHalf + j]);
+        batch.push_back(pools[1][b * kHalf + j]);
+      }
+      Status st = store->InsertBatch(batch);
+      if (st.ok() && b % 3 == 1) st = store->Flush();
+      if (st.ok() && b % 5 == 2) st = store->CompactAll();
+      if (!st.ok()) {
+        record_failure("writer: " + st.ToString());
+        break;
+      }
+    }
+    done.store(true);
+  });
+
+  // Readers: every batch is one cross-shard epoch of kBatchSize series, so
+  // any snapshot must expose a whole number of epochs — and exactly
+  // epoch * kBatchSize entries. Seeing anything else is the read-skew bug
+  // this protocol removes.
+  auto reader_fn = [&]() {
+    uint64_t last_epoch = 0;
+    while (!done.load()) {
+      const ShardedStore::Snapshot snap = store->GetSnapshot();
+      const uint64_t visible = snap.num_entries();
+      if (visible % kBatchSize != 0) {
+        record_failure("snapshot saw half a batch: " +
+                       std::to_string(visible) + " entries");
+        return;
+      }
+      if (visible != snap.epoch * kBatchSize) {
+        record_failure("snapshot entries disagree with its epoch stamp: " +
+                       std::to_string(visible) + " vs epoch " +
+                       std::to_string(snap.epoch));
+        return;
+      }
+      if (snap.epoch < last_epoch) {
+        record_failure("snapshot epoch went backwards");
+        return;
+      }
+      last_epoch = snap.epoch;
+      // num_entries() must honor the same visibility boundary.
+      const uint64_t counted = store->num_entries();
+      if (counted % kBatchSize != 0) {
+        record_failure("num_entries saw half a batch: " +
+                       std::to_string(counted));
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) readers.emplace_back(reader_fn);
+  writer.join();
+  for (auto& t : readers) t.join();
+  for (const std::string& f : failures) ADD_FAILURE() << f;
+  EXPECT_EQ(store->num_entries(), num_batches * kBatchSize);
+  EXPECT_EQ(store->committed_epoch(), num_batches);
 }
 
 TEST(ShardedStoreConcurrency, ReadersAndEngineStayConsistentUnderIngest) {
