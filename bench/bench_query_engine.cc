@@ -21,6 +21,7 @@
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
+#include "src/simd/kernels.h"
 #include "src/store/sharded_store.h"
 
 namespace coconut {
@@ -48,14 +49,16 @@ void WriteJson(const std::vector<JsonRow>& rows) {
   }
   std::fprintf(f, "[\n");
   for (size_t i = 0; i < rows.size(); ++i) {
+    // "kernel" records which SIMD backend produced the row, so trajectory
+    // comparisons never mix scalar-fallback and vectorized numbers.
     std::fprintf(f,
                  "  {\"bench\": \"bench_query_engine\", \"section\": \"%s\", "
                  "\"param\": %llu, \"batch\": %zu, \"seconds\": %.6f, "
-                 "\"rate_per_s\": %.1f}%s\n",
+                 "\"rate_per_s\": %.1f, \"kernel\": \"%s\"}%s\n",
                  rows[i].section.c_str(),
                  static_cast<unsigned long long>(rows[i].param),
                  rows[i].batch, rows[i].seconds, rows[i].qps,
-                 i + 1 < rows.size() ? "," : "");
+                 simd::Kernels().name, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

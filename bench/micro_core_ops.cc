@@ -1,16 +1,21 @@
 // Microbenchmarks (google-benchmark) for the core operations: PAA, SAX,
-// invSAX interleaving, key comparison, MINDIST, and external-sort
-// throughput. These are the per-record costs that the construction pipeline
-// (Fig 8) multiplies by N.
+// invSAX interleaving, key comparison, MINDIST, external-sort throughput,
+// and the dispatched SIMD kernels against their scalar references. These
+// are the per-record costs that the construction pipeline (Fig 8) and the
+// SIMS pruning pass (Algorithm 5) multiply by N.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/common/env.h"
 #include "src/common/random.h"
 #include "src/common/zkey.h"
 #include "src/series/generator.h"
+#include "src/simd/kernels.h"
 #include "src/sort/external_sort.h"
+#include "src/summary/breakpoints.h"
 #include "src/summary/invsax.h"
 #include "src/summary/mindist.h"
 #include "src/summary/paa.h"
@@ -26,6 +31,114 @@ SummaryOptions Sum() {
   s.cardinality_bits = 8;
   return s;
 }
+
+// --- Dispatched-vs-scalar kernel benchmarks. Each pair runs the portable
+// reference and the backend Kernels() resolved to (reported via the
+// "kernel" label); lengths cover the vector widths and the
+// non-multiple-of-width tails. ---
+
+const simd::KernelTable& KernelsFor(bool dispatched) {
+  return dispatched ? simd::Kernels() : simd::ScalarKernels();
+}
+
+void KernelArgs(benchmark::internal::Benchmark* b) {
+  // 64/256/1024 plus 100 and 257: remainder tails for the 4/8/16 lanes.
+  b->ArgsProduct({{64, 100, 256, 257, 1024}, {0, 1}})
+      ->ArgNames({"n", "dispatched"});
+}
+
+void BM_KernelSquaredEuclidean(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::KernelTable& k = KernelsFor(state.range(1) != 0);
+  RandomWalkGenerator gen(n, 11);
+  Series a = gen.NextSeries(), b = gen.NextSeries();
+  for (auto _ : state) {
+    const double d = k.squared_euclidean(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel(std::string("kernel=") + k.name);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelSquaredEuclidean)->Apply(KernelArgs);
+
+void BM_KernelSquaredEuclideanEarlyAbandon(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::KernelTable& k = KernelsFor(state.range(1) != 0);
+  RandomWalkGenerator gen(n, 12);
+  Series a = gen.NextSeries(), b = gen.NextSeries();
+  // A bound at half the full distance abandons mid-scan: the realistic
+  // leaf-scan shape once a k-NN heap has tightened.
+  const double bound =
+      0.5 * simd::ScalarKernels().squared_euclidean(a.data(), b.data(), n);
+  for (auto _ : state) {
+    const double d = k.squared_euclidean_ea(a.data(), b.data(), n, bound);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel(std::string("kernel=") + k.name);
+}
+BENCHMARK(BM_KernelSquaredEuclideanEarlyAbandon)->Apply(KernelArgs);
+
+void BM_KernelMindistSaxBatch(benchmark::State& state) {
+  // The SIMS pruning pass: lower bounds over a chunk of contiguous
+  // 16-byte SAX records.
+  const size_t count = static_cast<size_t>(state.range(0));
+  const simd::KernelTable& k = KernelsFor(state.range(1) != 0);
+  const SummaryOptions opts = Sum();
+  const size_t w = opts.segments;
+  Rng rng(13);
+  RandomWalkGenerator gen(opts.series_length, 13);
+  Series q = gen.NextSeries();
+  std::vector<double> paa(w);
+  PaaTransform(q.data(), opts.series_length, w, paa.data());
+  std::vector<uint8_t> sax(count * w);
+  for (auto& byte : sax) byte = static_cast<uint8_t>(rng.UniformInt(256));
+  std::vector<double> out(count);
+  const double* edges = SaxBreakpoints::Get().EdgeTable(opts.cardinality_bits);
+  for (auto _ : state) {
+    k.mindist_paa_sax_batch(paa.data(), sax.data(), w, count, edges, w,
+                            opts.segment_size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::string("kernel=") + k.name);
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_KernelMindistSaxBatch)
+    ->ArgsProduct({{4096}, {0, 1}})
+    ->ArgNames({"records", "dispatched"});
+
+void BM_KernelPaaTransform(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::KernelTable& k = KernelsFor(state.range(1) != 0);
+  RandomWalkGenerator gen(n, 14);
+  Series s = gen.NextSeries();
+  std::vector<double> paa(16);
+  for (auto _ : state) {
+    k.paa_transform(s.data(), n, 16, paa.data());
+    benchmark::DoNotOptimize(paa.data());
+  }
+  state.SetLabel(std::string("kernel=") + k.name);
+}
+BENCHMARK(BM_KernelPaaTransform)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->ArgNames({"n", "dispatched"});
+
+void BM_KernelZNormalize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const simd::KernelTable& k = KernelsFor(state.range(1) != 0);
+  Rng rng(15);
+  std::vector<float> base(n);
+  for (auto& v : base) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> work(n);
+  for (auto _ : state) {
+    std::memcpy(work.data(), base.data(), n * sizeof(float));
+    k.znormalize(work.data(), n);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetLabel(std::string("kernel=") + k.name);
+}
+BENCHMARK(BM_KernelZNormalize)
+    ->ArgsProduct({{64, 256, 257, 1024}, {0, 1}})
+    ->ArgNames({"n", "dispatched"});
 
 void BM_PaaTransform(benchmark::State& state) {
   RandomWalkGenerator gen(256, 1);

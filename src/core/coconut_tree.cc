@@ -138,7 +138,7 @@ Status CoconutTree::EntryDistanceSq(const uint8_t* entry, const Value* query,
                                      bound_sq);
     return Status::OK();
   }
-  scratch->fetch.resize(n);
+  // scratch->fetch was sized by Prepare() in the calling search.
   COCONUT_RETURN_IF_ERROR(
       raw_file_->ReadAt(DecodeLeafEntryOffset(entry), scratch->fetch.data()));
   *dist_sq = SquaredEuclideanEarlyAbandon(scratch->fetch.data(), query, n,
@@ -157,9 +157,8 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
                                  QueryScratch* scratch) const {
   if (num_leaves == 0) num_leaves = 1;
   const SummaryOptions& sum = options_.summary;
-  scratch->paa.resize(sum.segments);
+  scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
-  scratch->sax.resize(sum.segments);
   SaxFromPaa(scratch->paa.data(), sum, scratch->sax.data());
   const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
@@ -255,7 +254,7 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
   knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
-  scratch->paa.resize(sum.segments);
+  scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
 
   // Lines 8-10: compute lower bounds for every entry, in parallel.
@@ -291,7 +290,6 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
       knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   } else {
-    scratch->fetch.resize(series_len);
     for (uint64_t i = 0; i < n; ++i) {
       if (mindists[i] >= knn.bound_sq()) continue;
       COCONUT_RETURN_IF_ERROR(

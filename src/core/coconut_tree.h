@@ -38,6 +38,7 @@
 #include "src/common/status.h"
 #include "src/common/zkey.h"
 #include "src/core/coconut_options.h"
+#include "src/core/query_scratch.h"
 #include "src/core/tree_format.h"
 #include "src/io/file.h"
 #include "src/series/dataset.h"
@@ -61,16 +62,10 @@ struct TreeBuildStats {
 
 class CoconutTree {
  public:
-  /// Reusable per-caller scratch for the query paths. Queries allocate one
-  /// internally when none is supplied; batch executors (QueryEngine) pass
-  /// one per worker to avoid repeated allocation.
-  struct QueryScratch {
-    std::vector<Value> fetch;      // raw-series fetch buffer
-    std::vector<uint8_t> page;     // leaf page buffer
-    std::vector<double> paa;       // query PAA
-    std::vector<uint8_t> sax;      // query SAX word
-    std::vector<double> mindists;  // SIMS lower bounds
-  };
+  /// Reusable per-caller scratch for the query paths (see
+  /// src/core/query_scratch.h): queries allocate one internally when none
+  /// is supplied; batch executors (QueryEngine) pass one per worker.
+  using QueryScratch = coconut::QueryScratch;
 
   /// Builds an index over the raw dataset at `raw_path` into `index_path`
   /// (plus a `<index_path>.sax` sidecar holding the in-memory-scan summary

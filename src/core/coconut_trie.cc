@@ -521,10 +521,9 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
                                  QueryScratch* scratch) const {
   if (num_pages == 0) num_pages = 1;
   const SummaryOptions& sum = options_.summary;
-  scratch->paa.resize(sum.segments);
+  scratch->Prepare(sum.series_length, sum.segments);
   double* paa = scratch->paa.data();
   PaaTransform(query, sum.series_length, sum.segments, paa);
-  scratch->sax.resize(sum.segments);
   SaxFromPaa(paa, sum, scratch->sax.data());
   const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
@@ -550,7 +549,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
         d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry), query, n,
                                          knn.bound_sq());
       } else {
-        scratch->fetch.resize(n);
+        // scratch->fetch was sized by Prepare() above.
         COCONUT_RETURN_IF_ERROR(
             raw_file_->ReadAt(DecodeLeafEntryOffset(entry),
                               scratch->fetch.data()));
@@ -626,7 +625,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
   knn.Seed(approx);
 
   const SummaryOptions& sum = options_.summary;
-  scratch->paa.resize(sum.segments);
+  scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
   std::vector<double>& mindists = scratch->mindists;
   ParallelMindists(scratch->paa.data(), sims_sax_.data(), super_.num_entries,
@@ -658,7 +657,6 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
       knn.Offer(DecodeLeafEntryOffset(entry), d);
     }
   } else {
-    scratch->fetch.resize(series_len);
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
       if (mindists[i] >= knn.bound_sq()) continue;
       COCONUT_RETURN_IF_ERROR(

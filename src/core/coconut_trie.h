@@ -32,6 +32,7 @@
 #include "src/common/status.h"
 #include "src/common/zkey.h"
 #include "src/core/coconut_options.h"
+#include "src/core/query_scratch.h"
 #include "src/io/file.h"
 #include "src/series/dataset.h"
 #include "src/series/series.h"
@@ -78,18 +79,12 @@ struct TrieSuperblock {
 
 class CoconutTrie {
  public:
-  /// Reusable per-caller scratch for the query paths (mirrors
-  /// CoconutTree::QueryScratch): queries allocate one internally when none
+  /// Reusable per-caller scratch for the query paths (see
+  /// src/core/query_scratch.h): queries allocate one internally when none
   /// is supplied; batch executors pass one per worker. Replaces the old
   /// shared mutable fetch buffer, so the query paths are const and safe to
   /// call concurrently from many threads.
-  struct QueryScratch {
-    std::vector<Value> fetch;      // raw-series fetch buffer
-    std::vector<uint8_t> page;     // leaf page buffer
-    std::vector<double> paa;       // query PAA
-    std::vector<uint8_t> sax;      // query SAX word
-    std::vector<double> mindists;  // SIMS lower bounds
-  };
+  using QueryScratch = coconut::QueryScratch;
 
   /// Builds the trie index over `raw_path` into `index_path` (plus a
   /// `<index_path>.sax` sidecar). Algorithm 2 of the paper.

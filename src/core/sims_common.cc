@@ -14,10 +14,12 @@ void ParallelMindists(const double* query_paa, const uint8_t* sax_array,
   if (threads == 0) threads = 1;
   const size_t w = opts.segments;
   double* dst = out->data();
+  // One batched-kernel call per contiguous chunk of SAX records (record
+  // stride == w bytes here) instead of a per-entry call: the SIMD backend
+  // amortizes its table setup and the call overhead across the chunk.
   const auto body = [&](uint64_t begin, uint64_t end) {
-    for (uint64_t i = begin; i < end; ++i) {
-      dst[i] = MindistSqPaaToSax(query_paa, sax_array + i * w, opts);
-    }
+    MindistSqPaaToSaxBatch(query_paa, sax_array + begin * w, w, end - begin,
+                           opts, dst + begin);
   };
   if (threads == 1 || n < 2) {
     body(0, n);  // serial fallback: no pool round-trip for 1-thread configs

@@ -1,7 +1,8 @@
 // Euclidean distance between equal-length series, the distance metric used
 // throughout the paper's evaluation (paper §2). Squared forms avoid the sqrt
 // until results are reported; the early-abandoning variant stops as soon as
-// the partial sum exceeds a best-so-far bound.
+// the partial sum exceeds a best-so-far bound. Both dispatch to the SIMD
+// kernel layer (src/simd/kernels.h), selected once per process.
 #ifndef COCONUT_SERIES_DISTANCE_H_
 #define COCONUT_SERIES_DISTANCE_H_
 
@@ -9,34 +10,23 @@
 #include <limits>
 
 #include "src/series/series.h"
+#include "src/simd/kernels.h"
 
 namespace coconut {
 
 /// Squared Euclidean distance between two series of length n.
 inline double SquaredEuclidean(const Value* a, const Value* b, size_t n) {
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-    sum += d * d;
-  }
-  return sum;
+  return simd::Kernels().squared_euclidean(a, b, n);
 }
 
 /// Squared Euclidean distance with early abandoning: returns a value
-/// >= `bound_sq` as soon as the partial sum crosses `bound_sq`.
+/// >= `bound_sq` as soon as the partial sum crosses `bound_sq`. The bound
+/// is checked after every full 16-element block; the trailing partial
+/// block is summed straight through (the result is the full sum whenever
+/// no full-block check fires).
 inline double SquaredEuclideanEarlyAbandon(const Value* a, const Value* b,
                                            size_t n, double bound_sq) {
-  double sum = 0.0;
-  size_t i = 0;
-  while (i < n) {
-    const size_t stop = (i + 16 < n) ? i + 16 : n;
-    for (; i < stop; ++i) {
-      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-      sum += d * d;
-    }
-    if (sum >= bound_sq) return sum;
-  }
-  return sum;
+  return simd::Kernels().squared_euclidean_ea(a, b, n, bound_sq);
 }
 
 inline double Euclidean(const Value* a, const Value* b, size_t n) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/simd/kernels.h"
+
 namespace coconut {
 
 double Mean(const Value* values, size_t n) {
@@ -23,17 +25,7 @@ double StdDev(const Value* values, size_t n) {
 }
 
 void ZNormalize(Value* values, size_t n) {
-  constexpr double kEpsilon = 1e-9;
-  const double mean = Mean(values, n);
-  const double sd = StdDev(values, n);
-  if (sd < kEpsilon) {
-    for (size_t i = 0; i < n; ++i) values[i] = 0.0f;
-    return;
-  }
-  const double inv = 1.0 / sd;
-  for (size_t i = 0; i < n; ++i) {
-    values[i] = static_cast<Value>((values[i] - mean) * inv);
-  }
+  simd::Kernels().znormalize(values, n);
 }
 
 }  // namespace coconut

@@ -1,0 +1,54 @@
+// Backend selection. Resolved once per process, on the first Kernels()
+// call: honor a valid COCONUT_SIMD override, otherwise pick the best
+// backend the CPU supports (avx2 > neon > scalar). The choice is latched —
+// changing the environment variable after the first call has no effect,
+// which keeps every hot loop a single indirect call with no per-call
+// feature checks.
+#include "src/simd/kernels_internal.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace coconut {
+namespace simd {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* Select() {
+  const KernelTable* avx2 = CpuHasAvx2Fma() ? Avx2KernelsImpl() : nullptr;
+  const KernelTable* neon = NeonKernelsImpl();
+  const char* want = std::getenv("COCONUT_SIMD");
+  if (want != nullptr && *want != '\0') {
+    if (std::strcmp(want, "scalar") == 0) return &ScalarKernels();
+    if (std::strcmp(want, "avx2") == 0 && avx2 != nullptr) return avx2;
+    if (std::strcmp(want, "neon") == 0 && neon != nullptr) return neon;
+    // Unknown or unrunnable override: fall through to auto-detection
+    // rather than crashing on an illegal instruction.
+  }
+  if (avx2 != nullptr) return avx2;
+  if (neon != nullptr) return neon;
+  return &ScalarKernels();
+}
+
+}  // namespace
+
+const KernelTable& Kernels() {
+  static const KernelTable* const table = Select();
+  return *table;
+}
+
+const KernelTable* Avx2Kernels() {
+  return CpuHasAvx2Fma() ? Avx2KernelsImpl() : nullptr;
+}
+
+const KernelTable* NeonKernels() { return NeonKernelsImpl(); }
+
+}  // namespace simd
+}  // namespace coconut

@@ -1,0 +1,38 @@
+// Internal seam between the dispatcher (kernels.cc) and the per-backend
+// translation units. Each backend exposes exactly one factory that returns
+// its table when the backend was compiled in, or null otherwise; the
+// dispatcher layers runtime CPU-feature checks on top. New backends plug in
+// here (see src/simd/README.md).
+#ifndef COCONUT_SIMD_KERNELS_INTERNAL_H_
+#define COCONUT_SIMD_KERNELS_INTERNAL_H_
+
+#include "src/simd/kernels.h"
+
+namespace coconut {
+namespace simd {
+
+/// Squared distance from point q to the interval [lo, hi] (0 if inside).
+/// The scalar reference for the MINDIST kernels and their vector tails.
+inline double DistToRangeSq(double q, double lo, double hi) {
+  if (q < lo) {
+    const double d = lo - q;
+    return d * d;
+  }
+  if (q > hi) {
+    const double d = q - hi;
+    return d * d;
+  }
+  return 0.0;
+}
+
+/// Null unless built with AVX2+FMA codegen (x86-64 only). Callers must
+/// still verify the CPU supports AVX2 and FMA before executing it.
+const KernelTable* Avx2KernelsImpl();
+
+/// Null unless built for aarch64 (where NEON is architectural baseline).
+const KernelTable* NeonKernelsImpl();
+
+}  // namespace simd
+}  // namespace coconut
+
+#endif  // COCONUT_SIMD_KERNELS_INTERNAL_H_

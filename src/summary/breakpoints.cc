@@ -47,6 +47,7 @@ double InverseNormalCdf(double p) {
 
 SaxBreakpoints::SaxBreakpoints() {
   tables_.resize(kMaxCardinalityBits + 1);
+  edges_.resize(kMaxCardinalityBits + 1);
   for (unsigned bits = 1; bits <= kMaxCardinalityBits; ++bits) {
     const uint32_t card = 1u << bits;
     std::vector<double>& t = tables_[bits];
@@ -54,6 +55,11 @@ SaxBreakpoints::SaxBreakpoints() {
     for (uint32_t i = 0; i + 1 < card; ++i) {
       t[i] = InverseNormalCdf(static_cast<double>(i + 1) / card);
     }
+    std::vector<double>& e = edges_[bits];
+    e.resize(card + 1);
+    e.front() = -HUGE_VAL;
+    for (uint32_t i = 0; i + 1 < card; ++i) e[i + 1] = t[i];
+    e.back() = HUGE_VAL;
   }
 }
 

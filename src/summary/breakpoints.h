@@ -45,10 +45,20 @@ class SaxBreakpoints {
   /// Symbol (0-based, 0 = lowest region) of `value` at cardinality 2^bits.
   uint32_t Symbol(unsigned bits, double value) const;
 
+  /// Flat region-edge table for cardinality 2^bits: 2^bits + 1 entries
+  /// where region `s` spans [EdgeTable()[s], EdgeTable()[s + 1]], i.e.
+  /// EdgeTable()[s] == RegionLower(bits, s) and EdgeTable()[s + 1] ==
+  /// RegionUpper(bits, s); entry 0 is -HUGE_VAL and the last entry
+  /// +HUGE_VAL. Feeds the table-gathered SIMD MINDIST kernels, which index
+  /// it directly with the SAX byte.
+  const double* EdgeTable(unsigned bits) const { return edges_[bits].data(); }
+
  private:
   SaxBreakpoints();
   // tables_[b] holds the breakpoints for cardinality 2^b; tables_[0] empty.
   std::vector<std::vector<double>> tables_;
+  // edges_[b] holds the 2^b + 1 region edges (breakpoints plus -+inf ends).
+  std::vector<std::vector<double>> edges_;
 };
 
 }  // namespace coconut

@@ -1,5 +1,6 @@
 #include "src/summary/mindist.h"
 
+#include "src/simd/kernels.h"
 #include "src/summary/breakpoints.h"
 
 namespace coconut {
@@ -21,25 +22,26 @@ inline double DistToRangeSq(double q, double lo, double hi) {
 
 double MindistSqPaaToPaa(const double* a, const double* b,
                          const SummaryOptions& opts) {
-  double sum = 0.0;
-  for (size_t j = 0; j < opts.segments; ++j) {
-    const double d = a[j] - b[j];
-    sum += d * d;
-  }
-  return opts.segment_size() * sum;
+  return simd::Kernels().mindist_paa_paa(a, b, opts.segments,
+                                         opts.segment_size());
 }
 
 double MindistSqPaaToSax(const double* query_paa, const uint8_t* sax,
                          const SummaryOptions& opts) {
   const SaxBreakpoints& bp = SaxBreakpoints::Get();
-  const unsigned bits = opts.cardinality_bits;
-  double sum = 0.0;
-  for (size_t j = 0; j < opts.segments; ++j) {
-    const double lo = bp.RegionLower(bits, sax[j]);
-    const double hi = bp.RegionUpper(bits, sax[j]);
-    sum += DistToRangeSq(query_paa[j], lo, hi);
-  }
-  return opts.segment_size() * sum;
+  return simd::Kernels().mindist_paa_sax(
+      query_paa, sax, bp.EdgeTable(opts.cardinality_bits), opts.segments,
+      opts.segment_size());
+}
+
+void MindistSqPaaToSaxBatch(const double* query_paa, const uint8_t* sax_base,
+                            size_t stride_bytes, size_t count,
+                            const SummaryOptions& opts, double* out) {
+  const SaxBreakpoints& bp = SaxBreakpoints::Get();
+  simd::Kernels().mindist_paa_sax_batch(
+      query_paa, sax_base, stride_bytes, count,
+      bp.EdgeTable(opts.cardinality_bits), opts.segments, opts.segment_size(),
+      out);
 }
 
 double MindistSqPaaToSaxPrefix(const double* query_paa, const uint8_t* symbols,
@@ -62,11 +64,8 @@ double MindistSqPaaToSaxPrefix(const double* query_paa, const uint8_t* symbols,
 
 double MindistSqPaaToRect(const double* query_paa, const double* lo,
                           const double* hi, const SummaryOptions& opts) {
-  double sum = 0.0;
-  for (size_t j = 0; j < opts.segments; ++j) {
-    sum += DistToRangeSq(query_paa[j], lo[j], hi[j]);
-  }
-  return opts.segment_size() * sum;
+  return simd::Kernels().mindist_paa_rect(query_paa, lo, hi, opts.segments,
+                                          opts.segment_size());
 }
 
 }  // namespace coconut

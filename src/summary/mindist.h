@@ -21,6 +21,16 @@ double MindistSqPaaToPaa(const double* a, const double* b,
 double MindistSqPaaToSax(const double* query_paa, const uint8_t* sax,
                          const SummaryOptions& opts);
 
+/// Batched PAA-to-SAX lower bounds over `count` records laid out at
+/// `stride_bytes` intervals from `sax_base` (stride >= opts.segments; the
+/// SAX word is the first opts.segments bytes of each record). Fills
+/// out[0..count) with the same values as `count` MindistSqPaaToSax calls;
+/// one kernel call per chunk is what makes the SIMS pruning pass (paper
+/// Algorithm 5 line 10) SIMD-friendly.
+void MindistSqPaaToSaxBatch(const double* query_paa, const uint8_t* sax_base,
+                            size_t stride_bytes, size_t count,
+                            const SummaryOptions& opts, double* out);
+
 /// PAA-to-iSAX-node lower bound: the candidate region of segment j is known
 /// only to `prefix_bits[j]` bits of precision (0 bits = whole axis). Symbols
 /// are given at full cardinality; only the top prefix_bits[j] bits of

@@ -1,17 +1,12 @@
 #include "src/summary/paa.h"
 
+#include "src/simd/kernels.h"
+
 namespace coconut {
 
 void PaaTransform(const Value* series, size_t n, size_t segments,
                   double* out) {
-  const size_t seg_len = n / segments;
-  const double inv = 1.0 / static_cast<double>(seg_len);
-  for (size_t s = 0; s < segments; ++s) {
-    double sum = 0.0;
-    const Value* p = series + s * seg_len;
-    for (size_t i = 0; i < seg_len; ++i) sum += p[i];
-    out[s] = sum * inv;
-  }
+  simd::Kernels().paa_transform(series, n, segments, out);
 }
 
 }  // namespace coconut
