@@ -10,7 +10,8 @@
 // array (one object per row) for trajectory tracking in CI; the in-repo
 // baseline lives at BENCH_query_engine.json (repo root). `rate_per_s` is
 // queries/s for the query sections and series/s for store_ingest (whose
-// 1-shard row is the journal-free single-shard fast path).
+// 1-shard row is the journal-free single-shard fast path) and tree_build
+// (bottom-up construction at 1/2/4 sort threads).
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/coconut_forest.h"
+#include "src/core/coconut_tree.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
 #include "src/simd/kernels.h"
@@ -166,6 +168,32 @@ void Run() {
     json.push_back(JsonRow{"store_ingest", shards, kIngestBatch, ingest_secs,
                            data.size() / ingest_secs});
     stores.push_back(std::move(store));
+  }
+
+  // Tree-build sweep: full bottom-up construction (summarize -> external
+  // sort -> bulk load) through CoconutTreeBuilder at 1/2/4 sort threads.
+  // The 1 MiB budget forces the spill/merge pipeline; rate is series/s.
+  std::printf("\n-- tree build: sort-thread sweep (1 MiB sort budget) --\n");
+  PrintHeader({"threads", "build_time", "series/s", "speedup"});
+  double serial_build_seconds = 0.0;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    CoconutOptions topts;
+    topts.summary.series_length = kLength;
+    topts.leaf_capacity = 512;
+    topts.tmp_dir = dir.path();
+    topts.memory_budget_bytes = 1 << 20;
+    topts.num_threads = threads;
+    Stopwatch w;
+    CheckOk(CoconutTree::Build(
+                raw, dir.File("tree-" + std::to_string(threads)), topts,
+                nullptr),
+            "tree build");
+    const double secs = w.ElapsedSeconds();
+    if (threads == 1) serial_build_seconds = secs;
+    PrintRow({FmtCount(threads), FmtSeconds(secs),
+              FmtDouble(count / secs, 1),
+              FmtDouble(serial_build_seconds / secs, 2) + "x"});
+    json.push_back(JsonRow{"tree_build", threads, count, secs, count / secs});
   }
 
   std::printf("\n-- sharded store: shard sweep (4 threads) --\n");

@@ -6,15 +6,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/env.h"
 #include "src/common/random.h"
 #include "src/common/zkey.h"
+#include "src/exec/thread_pool.h"
 #include "src/series/generator.h"
 #include "src/simd/kernels.h"
 #include "src/sort/external_sort.h"
+#include "src/sort/record_sort.h"
 #include "src/summary/breakpoints.h"
 #include "src/summary/invsax.h"
 #include "src/summary/mindist.h"
@@ -222,8 +225,12 @@ void BM_MindistSax(benchmark::State& state) {
 BENCHMARK(BM_MindistSax);
 
 void BM_ExternalSort(benchmark::State& state) {
-  // Sort `state.range(0)` 40-byte records (the non-materialized entry size).
+  // End-to-end sort of `n` 40-byte records (the non-materialized entry
+  // size): ingest via AddBatch, spill, merge, drain the stream. Rows sweep
+  // the resolved thread count and radix-vs-comparison run generation.
   const size_t n = static_cast<size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const bool radix = state.range(2) != 0;
   std::string tmp;
   if (!MakeTempDir("coconut-microsort-", &tmp).ok()) {
     state.SkipWithError("tmp dir");
@@ -238,12 +245,12 @@ void BM_ExternalSort(benchmark::State& state) {
     opts.key_bytes = 32;
     opts.memory_budget_bytes = 1 << 20;  // force spills beyond ~13K records
     opts.tmp_dir = tmp;
+    opts.num_threads = threads;
+    opts.use_radix = radix;
     ExternalSorter sorter(opts);
-    for (size_t i = 0; i < n; ++i) {
-      if (!sorter.Add(records.data() + i * 40).ok()) {
-        state.SkipWithError("add");
-        return;
-      }
+    if (!sorter.AddBatch(records.data(), n).ok()) {
+      state.SkipWithError("add");
+      return;
     }
     std::unique_ptr<SortedRecordStream> stream;
     if (!sorter.Finish(&stream).ok()) {
@@ -259,7 +266,42 @@ void BM_ExternalSort(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
   (void)RemoveAll(tmp);
 }
-BENCHMARK(BM_ExternalSort)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_ExternalSort)
+    ->ArgsProduct({{10000, 50000}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "radix"});
+
+void BM_RunGenerationSort(benchmark::State& state) {
+  // Run generation in isolation: the stable (key, arrival) sort of one
+  // in-memory buffer of 40-byte records. The acceptance bar is the radix
+  // rows beating the serial comparison row >= 2x at 4 threads on multicore
+  // hardware (flat on the 1-core dev container).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const bool radix = state.range(2) != 0;
+  Rng rng(8);
+  std::vector<uint8_t> records(n * 40);
+  for (auto& b : records) b = static_cast<uint8_t>(rng.UniformInt(256));
+  // A pool of exactly `threads` (not the machine-wide shared pool), so the
+  // row measures the labeled parallelism.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  RecordSortSpec spec;
+  spec.base = records.data();
+  spec.record_bytes = 40;
+  spec.key_bytes = 32;
+  spec.count = n;
+  spec.use_radix = radix;
+  spec.pool = pool.get();
+  std::vector<uint32_t> order;
+  for (auto _ : state) {
+    StableSortRecords(spec, &order);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RunGenerationSort)
+    ->ArgsProduct({{100000}, {1, 4}, {0, 1}})
+    ->ArgNames({"n", "threads", "radix"});
 
 }  // namespace
 }  // namespace coconut

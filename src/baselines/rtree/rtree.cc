@@ -66,15 +66,25 @@ Status StrPartition(const std::string& path, uint64_t count, size_t dim,
   so.key_bytes = 4;
   so.memory_budget_bytes = options.memory_budget_bytes;
   so.tmp_dir = tmp_dir;
+  so.num_threads = options.num_threads;
   ExternalSorter sorter(so);
   {
     BufferedReader reader;
     COCONUT_RETURN_IF_ERROR(reader.Open(path));
-    std::vector<uint8_t> rec(layout.record_bytes());
-    for (uint64_t i = 0; i < count; ++i) {
-      COCONUT_RETURN_IF_ERROR(reader.Read(rec.data(), rec.size()));
-      layout.SetKey(rec.data(), dim);
-      COCONUT_RETURN_IF_ERROR(sorter.Add(rec.data()));
+    // Rewrite keys a chunk at a time and feed the sorter in bulk.
+    const size_t rb = layout.record_bytes();
+    const size_t chunk_records = std::max<size_t>(1, (size_t{1} << 20) / rb);
+    std::vector<uint8_t> chunk(chunk_records * rb);
+    uint64_t remaining = count;
+    while (remaining > 0) {
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(remaining, chunk_records));
+      COCONUT_RETURN_IF_ERROR(reader.Read(chunk.data(), take * rb));
+      for (size_t i = 0; i < take; ++i) {
+        layout.SetKey(chunk.data() + i * rb, dim);
+      }
+      COCONUT_RETURN_IF_ERROR(sorter.AddBatch(chunk.data(), take));
+      remaining -= take;
     }
   }
   ++*sort_passes;

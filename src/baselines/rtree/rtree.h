@@ -41,6 +41,9 @@ struct RtreeOptions {
   std::string tmp_dir;
   /// Internal-node fanout (in-memory directory).
   size_t fanout = 32;
+  /// Parallelism for the STR sorting passes (external sorter semantics:
+  /// 0 = shared pool size, 1 = serial).
+  unsigned num_threads = 0;
 
   Status Validate() const {
     COCONUT_RETURN_IF_ERROR(summary.Validate());

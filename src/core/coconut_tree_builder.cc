@@ -166,6 +166,7 @@ Status CoconutTreeBuilder::BuildFromDataset(const std::string& raw_path,
   sort_opts.key_bytes = ZKey::kBytes;
   sort_opts.memory_budget_bytes = options.memory_budget_bytes;
   sort_opts.tmp_dir = tmp_dir;
+  sort_opts.num_threads = options.num_threads;
   ExternalSorter sorter(sort_opts);
 
   // Phase 1: scan the raw file, summarize, feed the sorter (Algorithm 3
@@ -224,9 +225,7 @@ Status CoconutTreeBuilder::BuildFromDataset(const std::string& raw_path,
       } else {
         ThreadPool::Shared()->ParallelFor(0, filled, /*grain=*/0, summarize);
       }
-      for (size_t i = 0; i < filled; ++i) {
-        COCONUT_RETURN_IF_ERROR(sorter.Add(records.data() + i * entry_bytes));
-      }
+      COCONUT_RETURN_IF_ERROR(sorter.AddBatch(records.data(), filled));
       position += filled * series_bytes;
       if (filled < stride) break;  // scanner exhausted
     }

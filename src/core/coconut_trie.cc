@@ -215,6 +215,7 @@ Status CoconutTrie::Build(const std::string& raw_path,
   sort_opts.key_bytes = ZKey::kBytes;
   sort_opts.memory_budget_bytes = options.memory_budget_bytes;
   sort_opts.tmp_dir = tmp_dir;
+  sort_opts.num_threads = options.num_threads;
   ExternalSorter sorter(sort_opts);
   {
     DatasetScanner scanner;
@@ -223,7 +224,12 @@ Status CoconutTrie::Build(const std::string& raw_path,
     std::vector<Value> series(options.summary.series_length);
     std::vector<double> paa(options.summary.segments);
     std::vector<uint8_t> sax(options.summary.segments);
-    uint8_t record[kSortedEntryBytes];
+    // Stage summarized records and hand them to the sorter in bulk; the
+    // scan order is preserved, which the sorter's stability turns into a
+    // deterministic sorted output.
+    constexpr size_t kStageRecords = 1024;
+    std::vector<uint8_t> staged(kStageRecords * kSortedEntryBytes);
+    size_t staged_count = 0;
     uint64_t position = 0;
     const uint64_t series_bytes =
         options.summary.series_length * sizeof(Value);
@@ -231,13 +237,21 @@ Status CoconutTrie::Build(const std::string& raw_path,
       PaaTransform(series.data(), options.summary.series_length,
                    options.summary.segments, paa.data());
       SaxFromPaa(paa.data(), options.summary, sax.data());
+      uint8_t* record = staged.data() + staged_count * kSortedEntryBytes;
       InvSaxFromSax(sax.data(), options.summary).SerializeBE(record);
       std::memcpy(record + ZKey::kBytes, &position, 8);
-      Status add = sorter.Add(record);
-      if (!add.ok()) return cleanup(add);
       position += series_bytes;
+      if (++staged_count == kStageRecords) {
+        Status add = sorter.AddBatch(staged.data(), staged_count);
+        if (!add.ok()) return cleanup(add);
+        staged_count = 0;
+      }
     }
     if (!st.ok()) return cleanup(st);
+    if (staged_count > 0) {
+      Status add = sorter.AddBatch(staged.data(), staged_count);
+      if (!add.ok()) return cleanup(add);
+    }
   }
   st_out->summarize_seconds = watch.ElapsedSeconds();
 

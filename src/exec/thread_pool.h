@@ -18,6 +18,7 @@
 #ifndef COCONUT_EXEC_THREAD_POOL_H_
 #define COCONUT_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -80,6 +81,47 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+};
+
+/// A task that runs exactly once — either on a pool worker or inline in the
+/// thread that waits for it. Wait() claims the task if no worker has picked
+/// it up yet and executes it on the calling thread, so code running *on* a
+/// saturated pool can block on background I/O it scheduled without
+/// deadlocking (the waiter simply does the work itself). Used by the
+/// prefetching reader / async-flush writer in src/io.
+class OneShotTask {
+ public:
+  explicit OneShotTask(std::function<void()> fn)
+      : fn_(std::move(fn)), future_(promise_.get_future()) {}
+
+  OneShotTask(const OneShotTask&) = delete;
+  OneShotTask& operator=(const OneShotTask&) = delete;
+
+  /// Schedules `task` on `pool`; the shared_ptr keeps it alive until both
+  /// the worker lambda and every waiter released it.
+  static void Schedule(ThreadPool* pool, std::shared_ptr<OneShotTask> task) {
+    pool->Submit([task]() { task->RunOnce(); });
+  }
+
+  /// Blocks until the task has completed, claiming and running it inline if
+  /// no worker started it yet. Safe to call from any thread, repeatedly.
+  void Wait() {
+    RunOnce();
+    future_.wait();
+  }
+
+ private:
+  void RunOnce() {
+    if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
+      fn_();
+      promise_.set_value();
+    }
+  }
+
+  std::atomic<bool> claimed_{false};
+  std::function<void()> fn_;
+  std::promise<void> promise_;
+  std::shared_future<void> future_;
 };
 
 }  // namespace coconut

@@ -2,6 +2,14 @@
 // The buffer size is the unit at which I/O reaches the counted layer, so it
 // plays the role of the block size B in the paper's disk-access-model
 // analysis.
+//
+// Both classes optionally overlap I/O with the caller's compute:
+// EnablePrefetch / EnableAsyncFlush hand the next block's read (resp. the
+// full buffer's append) to a ThreadPool as a OneShotTask. Exactly one I/O is
+// in flight per stream, so file offsets stay sequential, and the claim-or-
+// wait protocol of OneShotTask keeps nested use on a saturated pool
+// deadlock-free. Without a pool the behavior is the original synchronous
+// one; toggling never changes the bytes produced or consumed.
 #ifndef COCONUT_IO_BUFFERED_IO_H_
 #define COCONUT_IO_BUFFERED_IO_H_
 
@@ -15,6 +23,9 @@
 
 namespace coconut {
 
+class ThreadPool;
+class OneShotTask;
+
 /// Default buffer of 256 KiB: large enough that sequential scans are cheap,
 /// small enough that dozens of merge inputs fit in a modest memory budget.
 inline constexpr size_t kDefaultIoBufferBytes = 256 * 1024;
@@ -23,8 +34,14 @@ class BufferedWriter {
  public:
   explicit BufferedWriter(size_t buffer_bytes = kDefaultIoBufferBytes)
       : capacity_(buffer_bytes) {}
+  ~BufferedWriter();
 
   Status Open(const std::string& path);
+
+  /// Flushes full buffers in the background on `pool` while the caller keeps
+  /// filling the other buffer. Call before or after Open, but not while a
+  /// flush may be outstanding.
+  void EnableAsyncFlush(ThreadPool* pool) { pool_ = pool; }
 
   Status Write(const void* data, size_t n);
 
@@ -35,19 +52,40 @@ class BufferedWriter {
 
  private:
   Status FlushBuffer();
+  /// Joins the outstanding background append (if any) and returns its status.
+  Status WaitAsyncFlush();
 
   size_t capacity_;
   std::vector<uint8_t> buffer_;
   std::unique_ptr<WritableFile> file_;
   uint64_t bytes_written_ = 0;
+
+  ThreadPool* pool_ = nullptr;
+  std::vector<uint8_t> flush_buffer_;        // block being appended
+  std::shared_ptr<OneShotTask> flush_task_;  // outstanding background append
+  Status flush_status_;                      // written by the task
 };
 
 class BufferedReader {
  public:
   explicit BufferedReader(size_t buffer_bytes = kDefaultIoBufferBytes)
       : capacity_(buffer_bytes) {}
+  ~BufferedReader();
 
   Status Open(const std::string& path);
+
+  /// Reads the block after the current one in the background on `pool`; each
+  /// Refill swaps it in and immediately schedules the next. Enable before
+  /// the first Read (typically right after Open).
+  void EnablePrefetch(ThreadPool* pool) { pool_ = pool; }
+
+  /// Caps reads (including prefetch) at `end_offset` bytes into the file,
+  /// as if the file ended there. Call after Open; used by merge cursors
+  /// that consume a slice of a run so prefetch never crosses into another
+  /// partition's byte range.
+  void LimitReadsTo(uint64_t end_offset) {
+    limit_ = std::min(end_offset, file_size());
+  }
 
   /// Reads exactly `n` bytes; returns IOError at EOF.
   Status Read(void* out, size_t n);
@@ -61,6 +99,9 @@ class BufferedReader {
 
  private:
   Status Refill();
+  void SchedulePrefetch();
+  /// Joins the outstanding prefetch (if any), discarding its result.
+  void DrainPrefetch();
 
   size_t capacity_;
   std::vector<uint8_t> buffer_;
@@ -68,7 +109,15 @@ class BufferedReader {
   size_t buffer_len_ = 0;
   uint64_t position_ = 0;       // logical read position in the file
   uint64_t buffer_start_ = 0;   // file offset of buffer_[0]
+  uint64_t limit_ = 0;          // readable end offset (== file size unless capped)
   std::unique_ptr<RandomAccessFile> file_;
+
+  ThreadPool* pool_ = nullptr;
+  std::vector<uint8_t> next_buffer_;            // block being prefetched
+  std::shared_ptr<OneShotTask> prefetch_task_;  // outstanding background read
+  uint64_t prefetch_offset_ = 0;
+  size_t prefetch_len_ = 0;
+  Status prefetch_status_;  // written by the task
 };
 
 }  // namespace coconut

@@ -1,18 +1,34 @@
-// External merge sort over fixed-size byte records (paper §3.1, "Bottom-up
-// Bulk-Loading Using External Sorting").
+// Parallel external merge sort over fixed-size byte records (paper §3.1,
+// "Bottom-up Bulk-Loading Using External Sorting"). Coconut reduces index
+// construction to exactly this sort over sortable (invSAX) summarizations,
+// so the sorter is the build path; see src/sort/README.md for the design.
 //
-// Phase 1 (partitioning): records are accumulated into an in-memory buffer
-// bounded by the memory budget, sorted, and flushed as sorted runs.
-// Phase 2 (merging): runs are k-way merged with one input buffer per run.
-// When everything fits in memory the merge phase is skipped entirely (the
-// paper notes this is the common case for non-materialized indexes, where
-// only summarizations are sorted).
+// Phase 1 (partitioning): records accumulate into an in-memory buffer
+// bounded by the memory budget and spill as sorted runs. Run generation is
+// an MSD radix sort on the leading key bytes (comparison sort for the
+// tails) chunked over the shared ThreadPool, and spilling is
+// double-buffered: the next buffer fills in Add()/AddBatch() while the
+// previous one sorts and writes on the pool, so ingest never stalls on
+// disk.
+// Phase 2 (merging): runs k-way merge through a loser tree (one comparison
+// per level) with one background-prefetching input buffer per run and an
+// async-flushing output buffer. When everything fits in memory the merge
+// phase is skipped entirely (the paper notes this is the common case for
+// non-materialized indexes, where only summarizations are sorted). If more
+// runs exist than the fan-in budget allows, intermediate passes run first
+// (groups merged concurrently); the final pass is key-range partitioned
+// across threads, each range writing an independent output slice that the
+// returned stream chains together in order.
 //
 // Records are opaque byte strings of a fixed size; ordering is memcmp over
 // the first `key_bytes` (ZKey::SerializeBE produces keys whose memcmp order
-// equals their numeric order, so invSAX records sort correctly). If more
-// runs exist than the fan-in budget allows, intermediate merge passes are
-// performed.
+// equals their numeric order, so invSAX records sort correctly).
+//
+// Determinism contract: every stage is stable by arrival order (in-buffer
+// sorts tie-break on arrival index, merges on run index), so the output is
+// the stable sort of the input stream — byte-identical across num_threads,
+// radix vs comparison sort, and any run/partition structure the budget
+// induces.
 #ifndef COCONUT_SORT_EXTERNAL_SORT_H_
 #define COCONUT_SORT_EXTERNAL_SORT_H_
 
@@ -26,6 +42,9 @@
 
 namespace coconut {
 
+class OneShotTask;
+class ThreadPool;
+
 struct ExternalSortOptions {
   /// Record size in bytes (key + payload).
   size_t record_bytes = 0;
@@ -38,6 +57,16 @@ struct ExternalSortOptions {
   /// Maximum number of runs merged in one pass (also bounded by the memory
   /// budget divided by the per-run input buffer size).
   size_t max_fan_in = 64;
+  /// Sort/merge parallelism: 0 = the shared ThreadPool's size, 1 = fully
+  /// serial in-place operation (no pool, no background I/O), > 1 = use the
+  /// shared pool with this many key-range partitions / concurrent merges.
+  /// The COCONUT_SORT_THREADS environment variable, when set to a positive
+  /// integer, overrides this field. Output bytes never depend on it.
+  unsigned num_threads = 0;
+  /// Run generation algorithm: MSD radix on the key bytes (default) or pure
+  /// comparison sort. Both are stable and produce identical output; the
+  /// switch exists for benchmarks and regression tests.
+  bool use_radix = true;
 
   Status Validate() const {
     if (record_bytes == 0) {
@@ -79,23 +108,59 @@ class ExternalSorter {
   /// Adds one record (options.record_bytes bytes). May spill a sorted run.
   Status Add(const uint8_t* record);
 
+  /// Adds `n` contiguous records in one call: the bulk entry point for the
+  /// tree/trie builders, which stage whole summarization strides. Copies
+  /// capacity-sized slices instead of growing record-by-record.
+  Status AddBatch(const uint8_t* records, size_t n);
+
   /// Finishes ingestion, performs merge passes if needed, and returns a
   /// stream over the fully sorted data. Call at most once.
   Status Finish(std::unique_ptr<SortedRecordStream>* out);
 
   /// Number of sorted runs spilled to disk so far (0 = all in memory).
-  size_t spilled_runs() const { return run_paths_.size(); }
+  /// After Finish this still reports the phase-1 run count, not the merged
+  /// survivors.
+  size_t spilled_runs() const { return generated_runs_; }
   uint64_t total_records() const { return total_records_; }
 
+  /// Resolved parallelism (after the COCONUT_SORT_THREADS override);
+  /// 1 means the serial path. Exposed for tests.
+  unsigned resolved_threads() const { return threads_; }
+
  private:
-  Status SortAndSpillBuffer();
-  Status MergeRuns(const std::vector<std::string>& inputs,
-                   const std::string& output);
+  Status SpillBuffer();
+  Status SortAndWriteRun(const std::vector<uint8_t>& records, size_t count,
+                         const std::string& path);
+  Status WaitForSpill();
+  Status MergeGroup(const std::vector<std::string>& inputs,
+                    const std::string& output, size_t input_buffer_bytes);
+  Status PartitionedFinalMerge(const std::vector<std::string>& inputs,
+                               std::unique_ptr<SortedRecordStream>* out);
+
+  /// Spill-file path unique to this sorter instance: nested or concurrent
+  /// sorters may share a tmp_dir (the R-tree's recursive STR passes do),
+  /// so names carry a process-wide instance token.
+  std::string SpillPath(const char* kind);
 
   ExternalSortOptions options_;
-  std::vector<uint8_t> buffer_;   // staged records, unsorted
+  uint64_t instance_token_;
+  unsigned threads_;    // resolved parallelism; 1 = serial
+  /// Sized to num_threads when that differs from the shared pool's width,
+  /// so the requested parallelism is what actually runs (benchmark thread
+  /// sweeps measure what they claim). Declared before pool_ users so it
+  /// outlives every task scheduled on it.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;    // shared or owned pool; nullptr when serial
+  std::vector<uint8_t> buffer_;        // staged records, unsorted (filling)
+  std::vector<uint8_t> spill_buffer_;  // records being sorted/written
+  /// Outstanding background spill as a claim-or-wait task (not a plain
+  /// future): if this sorter itself runs on a saturated pool, WaitForSpill
+  /// executes the queued spill inline instead of deadlocking on it.
+  std::shared_ptr<OneShotTask> spill_task_;
+  Status spill_status_;  // written by the task
   size_t buffer_capacity_records_;
   std::vector<std::string> run_paths_;
+  size_t generated_runs_ = 0;
   uint64_t total_records_ = 0;
   uint64_t next_run_id_ = 0;
   bool finished_ = false;

@@ -1,0 +1,75 @@
+// Loser tree (tournament tree) for k-way merging: selecting the next record
+// costs one comparison per level — half of what a binary heap's sift-down
+// pays, because each internal node stores the *loser* of its match and the
+// winner bubbles straight up a known path.
+//
+// Leaves are the integers [0, k); the caller owns their values (merge
+// cursors) and supplies a strict-weak `less(a, b)` over leaf indices.
+// Exhausted cursors must order after every live one; ties among live
+// cursors should break on the leaf index to keep multi-run merges stable.
+//
+// Usage:
+//   LoserTree<decltype(less)> tree(k, less);
+//   while (live(tree.winner())) {
+//     consume(tree.winner());
+//     advance cursor of tree.winner();
+//     tree.Replay();  // re-seed the winner's path
+//   }
+#ifndef COCONUT_SORT_LOSER_TREE_H_
+#define COCONUT_SORT_LOSER_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coconut {
+
+template <typename Less>
+class LoserTree {
+ public:
+  /// Builds the initial tournament over leaves [0, k). `k` must be >= 1.
+  LoserTree(size_t k, Less less)
+      : k_(k), less_(std::move(less)), tree_(k) {
+    winner_ = k_ > 1 ? InitNode(1) : 0;
+  }
+
+  /// Leaf index holding the smallest current value.
+  size_t winner() const { return winner_; }
+
+  /// Re-plays the winner's path after its cursor advanced (or exhausted).
+  void Replay() {
+    size_t cur = winner_;
+    for (size_t node = (k_ + cur) >> 1; node >= 1; node >>= 1) {
+      if (less_(tree_[node], cur)) {
+        const size_t tmp = tree_[node];
+        tree_[node] = cur;
+        cur = tmp;
+      }
+    }
+    winner_ = cur;
+  }
+
+ private:
+  // Implicit heap layout: internal nodes are [1, k), leaf i sits at k + i.
+  // Works for any k >= 2 (not just powers of two): the tree is exactly the
+  // parent structure induced by halving indices.
+  size_t InitNode(size_t node) {
+    if (node >= k_) return node - k_;
+    const size_t a = InitNode(2 * node);
+    const size_t b = InitNode(2 * node + 1);
+    if (less_(b, a)) {
+      tree_[node] = a;
+      return b;
+    }
+    tree_[node] = b;
+    return a;
+  }
+
+  size_t k_;
+  Less less_;
+  std::vector<size_t> tree_;  // tree_[node] = loser of the match at `node`
+  size_t winner_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_SORT_LOSER_TREE_H_
