@@ -23,6 +23,8 @@
 #include "src/core/coconut_tree.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
+#include "src/io/io_stats.h"
+#include "src/obs/metrics.h"
 #include "src/simd/kernels.h"
 #include "src/store/sharded_store.h"
 
@@ -39,6 +41,45 @@ struct JsonRow {
   size_t batch;    // queries per batch, or series per ingest batch
   double seconds;
   double qps;
+  // Registry/I-O deltas over the measured region (query sections only for
+  // the query.* fields; ingest/build rows report I/O ops alone).
+  uint64_t io_read_ops = 0;
+  uint64_t leaves_visited = 0;
+  uint64_t p99_latency_ns = 0;
+};
+
+/// Captures registry + I/O state at construction; Fill() folds the delta
+/// accumulated since then into a JSON row.
+class MetricProbe {
+ public:
+  MetricProbe()
+      : reg_(MetricRegistry::Default().Snapshot()),
+        io_(IoStats::Instance().Snapshot()) {}
+
+  void Fill(JsonRow* row) const {
+    const RegistrySnapshot now = MetricRegistry::Default().Snapshot();
+    row->io_read_ops = IoStats::Instance().Snapshot().read_ops - io_.read_ops;
+    row->leaves_visited = CounterDelta(now, "query.leaves_visited");
+    const auto it = now.histograms.find("query.exact.latency_ns");
+    if (it != now.histograms.end()) {
+      HistogramSnapshot d = it->second;
+      const auto old = reg_.histograms.find("query.exact.latency_ns");
+      if (old != reg_.histograms.end()) d = d.Delta(old->second);
+      row->p99_latency_ns = d.ValueAtQuantile(0.99);
+    }
+  }
+
+ private:
+  uint64_t CounterDelta(const RegistrySnapshot& now,
+                        const std::string& name) const {
+    const auto cur = now.counters.find(name);
+    const auto old = reg_.counters.find(name);
+    return (cur == now.counters.end() ? 0 : cur->second) -
+           (old == reg_.counters.end() ? 0 : old->second);
+  }
+
+  RegistrySnapshot reg_;
+  IoSnapshot io_;
 };
 
 void WriteJson(const std::vector<JsonRow>& rows) {
@@ -56,10 +97,15 @@ void WriteJson(const std::vector<JsonRow>& rows) {
     std::fprintf(f,
                  "  {\"bench\": \"bench_query_engine\", \"section\": \"%s\", "
                  "\"param\": %llu, \"batch\": %zu, \"seconds\": %.6f, "
-                 "\"rate_per_s\": %.1f, \"kernel\": \"%s\"}%s\n",
+                 "\"rate_per_s\": %.1f, \"io_read_ops\": %llu, "
+                 "\"leaves_visited\": %llu, \"p99_latency_ns\": %llu, "
+                 "\"kernel\": \"%s\"}%s\n",
                  rows[i].section.c_str(),
                  static_cast<unsigned long long>(rows[i].param),
                  rows[i].batch, rows[i].seconds, rows[i].qps,
+                 static_cast<unsigned long long>(rows[i].io_read_ops),
+                 static_cast<unsigned long long>(rows[i].leaves_visited),
+                 static_cast<unsigned long long>(rows[i].p99_latency_ns),
                  simd::Kernels().name, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -121,6 +167,7 @@ void Run() {
     ThreadPool pool(threads);
     QueryEngine engine(&pool);
     std::vector<SearchResult> results;
+    MetricProbe probe;
     Stopwatch w;
     CheckOk(engine.ExecuteBatch(*forest, queries, spec, &results), "batch");
     const double secs = w.ElapsedSeconds();
@@ -130,6 +177,7 @@ void Run() {
               FmtDouble(serial_seconds / secs, 2) + "x"});
     json.push_back(
         JsonRow{"forest_threads", threads, kBatch, secs, kBatch / secs});
+    probe.Fill(&json.back());
   }
 
   // Shard-count sweep: the same data in a ShardedStore with 1/2/4 shards,
@@ -158,6 +206,7 @@ void Run() {
           data.begin() + base,
           data.begin() + std::min(data.size(), base + kIngestBatch));
     }
+    MetricProbe probe;
     Stopwatch ingest;
     for (const std::vector<Series>& batch : batches) {
       CheckOk(store->InsertBatch(batch), "store insert");
@@ -167,6 +216,7 @@ void Run() {
               FmtDouble(data.size() / ingest_secs, 1)});
     json.push_back(JsonRow{"store_ingest", shards, kIngestBatch, ingest_secs,
                            data.size() / ingest_secs});
+    probe.Fill(&json.back());
     stores.push_back(std::move(store));
   }
 
@@ -183,6 +233,7 @@ void Run() {
     topts.tmp_dir = dir.path();
     topts.memory_budget_bytes = 1 << 20;
     topts.num_threads = threads;
+    MetricProbe probe;
     Stopwatch w;
     CheckOk(CoconutTree::Build(
                 raw, dir.File("tree-" + std::to_string(threads)), topts,
@@ -194,6 +245,7 @@ void Run() {
               FmtDouble(count / secs, 1),
               FmtDouble(serial_build_seconds / secs, 2) + "x"});
     json.push_back(JsonRow{"tree_build", threads, count, secs, count / secs});
+    probe.Fill(&json.back());
   }
 
   std::printf("\n-- sharded store: shard sweep (4 threads) --\n");
@@ -207,6 +259,7 @@ void Run() {
     std::vector<SearchResult> results;
     // Warm every shard's SIMS arrays.
     CheckOk(engine.ExecuteBatch(*store, queries, spec, &results), "warmup");
+    MetricProbe probe;
     Stopwatch w;
     CheckOk(engine.ExecuteBatch(*store, queries, spec, &results), "batch");
     const double secs = w.ElapsedSeconds();
@@ -216,6 +269,7 @@ void Run() {
               FmtDouble(one_shard_seconds / secs, 2) + "x"});
     json.push_back(
         JsonRow{"store_shards", shards, kBatch, secs, kBatch / secs});
+    probe.Fill(&json.back());
   }
 
   std::printf(

@@ -2,8 +2,17 @@
 // Paper result: the ADS family visits more than 80K records on average, the
 // Coconut family fewer than 59K — the better approximate seed translates
 // directly into pruning power for SIMS.
+//
+// Coconut rows count through the per-query QueryTrace (the same counters
+// the QueryEngine flushes into the metric registry) and cross-check the
+// trace against the SearchResult counters — one source of truth, verified
+// to agree. The ADS baselines predate the trace plumbing and keep the
+// SearchResult fields.
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "bench/query_fixture.h"
+#include "src/core/query_scratch.h"
 
 namespace coconut {
 namespace bench {
@@ -27,6 +36,50 @@ void Run() {
   // Total visits split into the approximate seeding phase (bounded by the
   // leaf window) and the SIMS scan phase (the paper's pruning-power story).
   PrintHeader({"method", "avg_total", "avg_sims_phase", "share_of_N%"});
+  auto print = [&](const char* name, uint64_t visited,
+                   uint64_t approx_visited) {
+    const double avg = static_cast<double>(visited) / queries;
+    const double sims =
+        static_cast<double>(visited - approx_visited) / queries;
+    PrintRow({name, FmtDouble(avg, 1), FmtDouble(sims, 1),
+              FmtDouble(100.0 * avg / count, 2)});
+  };
+
+  // Coconut rows: count via QueryTrace, cross-checked against the
+  // SearchResult counters so the two surfaces can never drift apart.
+  auto run_coconut = [&](const char* name, const auto& tree, size_t leaves) {
+    QueryScratch scratch;
+    QueryTrace trace;
+    scratch.trace = &trace;
+    uint64_t visited = 0;
+    uint64_t approx_visited = 0;
+    for (const Series& q : qs) {
+      SearchResult a, r;
+      trace.Clear();
+      CheckOk(tree->ApproxSearch(q.data(), leaves, &a, 1, &scratch), name);
+      if (trace.records_fetched != a.visited_records) {
+        std::fprintf(stderr, "%s: trace/result approx mismatch %llu vs %llu\n",
+                     name,
+                     static_cast<unsigned long long>(trace.records_fetched),
+                     static_cast<unsigned long long>(a.visited_records));
+        std::exit(1);
+      }
+      approx_visited += trace.records_fetched;
+      trace.Clear();
+      CheckOk(tree->ExactSearch(q.data(), leaves, &r, 1, &scratch), name);
+      if (trace.records_fetched != r.visited_records) {
+        std::fprintf(stderr, "%s: trace/result exact mismatch %llu vs %llu\n",
+                     name,
+                     static_cast<unsigned long long>(trace.records_fetched),
+                     static_cast<unsigned long long>(r.visited_records));
+        std::exit(1);
+      }
+      visited += trace.records_fetched;
+    }
+    print(name, visited, approx_visited);
+  };
+
+  // ADS baselines: no trace plumbing; SearchResult counters as before.
   auto run = [&](const char* name, auto&& approx, auto&& exact) {
     uint64_t visited = 0;
     uint64_t approx_visited = 0;
@@ -37,36 +90,12 @@ void Run() {
       CheckOk(exact(q, &r), name);
       visited += r.visited_records;
     }
-    const double avg = static_cast<double>(visited) / queries;
-    const double sims =
-        static_cast<double>(visited - approx_visited) / queries;
-    PrintRow({name, FmtDouble(avg, 1), FmtDouble(sims, 1),
-              FmtDouble(100.0 * avg / count, 2)});
+    print(name, visited, approx_visited);
   };
-  run(
-      "CTree(1)",
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree->ApproxSearch(q.data(), 1, r);
-      },
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree->ExactSearch(q.data(), 1, r);
-      });
-  run(
-      "CTree(10)",
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree->ApproxSearch(q.data(), 10, r);
-      },
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree->ExactSearch(q.data(), 10, r);
-      });
-  run(
-      "CTreeFull(1)",
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree_full->ApproxSearch(q.data(), 1, r);
-      },
-      [&](const Series& q, SearchResult* r) {
-        return f.ctree_full->ExactSearch(q.data(), 1, r);
-      });
+
+  run_coconut("CTree(1)", f.ctree, 1);
+  run_coconut("CTree(10)", f.ctree, 10);
+  run_coconut("CTreeFull(1)", f.ctree_full, 1);
   run(
       "ADS+",
       [&](const Series& q, SearchResult* r) {

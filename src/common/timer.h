@@ -1,8 +1,10 @@
-// Wall-clock stopwatch used by the benchmark harnesses.
+// Wall-clock stopwatch used by the benchmark harnesses and the obs stage
+// timers.
 #ifndef COCONUT_COMMON_TIMER_H_
 #define COCONUT_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace coconut {
 
@@ -18,6 +20,15 @@ class Stopwatch {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds since construction or the last Restart(); the
+  /// native unit for metric histograms (no seconds-as-double round trip).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

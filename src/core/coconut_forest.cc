@@ -9,6 +9,7 @@
 #include "src/common/env.h"
 #include "src/core/knn.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/stage_timer.h"
 #include "src/series/distance.h"
 #include "src/summary/invsax.h"
 
@@ -359,6 +360,12 @@ Status CoconutForest::FlushWriterLocked() {
   // flushed entries exactly once (either in the memtable or in the run).
   const size_t count = memtable_count_;
   if (count == 0) return Status::OK();
+  static Histogram* flush_ns =
+      MetricRegistry::Default().GetHistogram("forest.flush_ns");
+  static Counter* flush_entries =
+      MetricRegistry::Default().GetCounter("forest.flush_entries");
+  ScopedTimer flush_timer(flush_ns);
+  flush_entries->Add(count);
   const std::shared_ptr<std::vector<MemEntry>> mem = memtable_;
   std::vector<uint8_t> sorted =
       EncodeSortedRecords(*mem, count, options_.tree);
@@ -512,6 +519,12 @@ Status CoconutForest::CompactWriterLocked() {
   // is safe here; the merge below runs on immutable trees outside any lock.
   const std::vector<std::shared_ptr<const CoconutTree>> inputs = runs_;
   if (inputs.size() <= 1) return Status::OK();
+  static Histogram* compaction_ns =
+      MetricRegistry::Default().GetHistogram("forest.compaction_ns");
+  static Histogram* merge_fan_in =
+      MetricRegistry::Default().GetHistogram("forest.compaction.merge_fan_in");
+  ScopedTimer compaction_timer(compaction_ns);
+  merge_fan_in->Record(inputs.size());
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
   const std::string path = RunPath(next_run_id_++);
   uint64_t total_entries = 0;
@@ -594,6 +607,10 @@ Status CoconutForest::ExactSearch(const Snapshot& snapshot,
     knn.Offer(e.offset, SquaredEuclidean(e.series.data(), query, n));
     ++visited;
   }
+  if (QueryTrace* t = scratch->trace) {
+    t->memtable_scanned += snapshot.memtable_count;
+    t->records_fetched += snapshot.memtable_count;
+  }
   // Runs: per-run exact k-NN answers; runs partition the data, so the
   // merged top-k is the global top-k.
   for (const auto& run : snapshot.runs) {
@@ -629,6 +646,10 @@ Status CoconutForest::ApproxSearch(const Snapshot& snapshot,
     const MemEntry& e = (*snapshot.memtable)[i];
     knn.Offer(e.offset, SquaredEuclidean(e.series.data(), query, n));
     ++visited;
+  }
+  if (QueryTrace* t = scratch->trace) {
+    t->memtable_scanned += snapshot.memtable_count;
+    t->records_fetched += snapshot.memtable_count;
   }
   for (const auto& run : snapshot.runs) {
     SearchResult r;

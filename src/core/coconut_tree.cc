@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "src/common/env.h"
+#include "src/common/timer.h"
 #include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/io/buffered_io.h"
@@ -156,6 +157,8 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
                                  SearchResult* result, size_t k,
                                  QueryScratch* scratch) const {
   if (num_leaves == 0) num_leaves = 1;
+  QueryTrace* const trace = scratch->trace;
+  Stopwatch stage;  // consulted only when tracing
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -163,6 +166,10 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
   const uint64_t target = LocateLeaf(key);
+  if (trace != nullptr) {
+    trace->route_ns += stage.ElapsedNanos();
+    stage.Restart();
+  }
   // Window of `num_leaves` contiguous pages centered on the target (paper:
   // "all data series in a specific radius from this specific point").
   uint64_t lo = target > (num_leaves - 1) / 2 ? target - (num_leaves - 1) / 2
@@ -189,6 +196,11 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
+  if (trace != nullptr) {
+    trace->approx_ns += stage.ElapsedNanos();
+    trace->leaves_visited += hi - lo + 1;
+    trace->records_fetched += visited;
+  }
   return Status::OK();
 }
 
@@ -253,6 +265,8 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
   KnnCollector knn(k);
   knn.Seed(approx);
 
+  QueryTrace* const trace = scratch->trace;
+  Stopwatch stage;  // refine stage: lower bounds + skip-sequential scan
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -304,6 +318,12 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
   knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + leaves_read;
+  if (trace != nullptr) {
+    trace->refine_ns += stage.ElapsedNanos();
+    trace->leaves_visited += leaves_read;
+    trace->records_fetched += visited;
+    trace->pruned_mindist += n - visited;
+  }
   return Status::OK();
 }
 

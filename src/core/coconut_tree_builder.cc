@@ -11,6 +11,7 @@
 #include "src/core/coconut_tree.h"
 #include "src/exec/thread_pool.h"
 #include "src/io/buffered_io.h"
+#include "src/io/io_stats.h"
 #include "src/summary/invsax.h"
 #include "src/summary/paa.h"
 #include "src/summary/sax.h"
@@ -38,6 +39,7 @@ Status AppendSidecarRecord(const uint8_t* entry, const CoconutOptions& opts,
 Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
                                     const CoconutOptions& options,
                                     const std::string& index_path) {
+  IoComponentScope io_scope("build");
   COCONUT_RETURN_IF_ERROR(options.Validate());
   const uint64_t count = stream->count();
   if (count == 0) {
@@ -149,6 +151,7 @@ Status CoconutTreeBuilder::BuildFromDataset(const std::string& raw_path,
                                             const std::string& index_path,
                                             const CoconutOptions& options,
                                             TreeBuildStats* stats) {
+  IoComponentScope io_scope("build");
   COCONUT_RETURN_IF_ERROR(options.Validate());
   TreeBuildStats local_stats;
   TreeBuildStats* out_stats = stats != nullptr ? stats : &local_stats;

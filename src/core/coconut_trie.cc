@@ -534,6 +534,8 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
                                  SearchResult* result, size_t k,
                                  QueryScratch* scratch) const {
   if (num_pages == 0) num_pages = 1;
+  QueryTrace* const trace = scratch->trace;
+  Stopwatch stage;  // consulted only when tracing
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   double* paa = scratch->paa.data();
@@ -548,6 +550,10 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
       target > (num_pages - 1) / 2 ? target - (num_pages - 1) / 2 : 0;
   uint64_t hi = std::min<uint64_t>(super_.num_pages - 1, lo + num_pages - 1);
   lo = (hi + 1 >= num_pages) ? hi + 1 - num_pages : 0;
+  if (trace != nullptr) {
+    trace->route_ns += stage.ElapsedNanos();
+    stage.Restart();
+  }
 
   KnnCollector knn(k);
   uint64_t visited = 0;
@@ -577,6 +583,11 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
+  if (trace != nullptr) {
+    trace->approx_ns += stage.ElapsedNanos();
+    trace->leaves_visited += hi - lo + 1;
+    trace->records_fetched += visited;
+  }
   return Status::OK();
 }
 
@@ -638,6 +649,8 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
   KnnCollector knn(k);
   knn.Seed(approx);
 
+  QueryTrace* const trace = scratch->trace;
+  Stopwatch stage;  // refine stage: lower bounds + skip-sequential scan
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -685,6 +698,12 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
   knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + pages_read;
+  if (trace != nullptr) {
+    trace->refine_ns += stage.ElapsedNanos();
+    trace->leaves_visited += pages_read;
+    trace->records_fetched += visited;
+    trace->pruned_mindist += super_.num_entries - visited;
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/query_trace.h"
 #include "src/series/series.h"
 
 namespace coconut {
@@ -19,6 +20,11 @@ struct QueryScratch {
   std::vector<double> paa;       // query PAA
   std::vector<uint8_t> sax;      // query SAX word
   std::vector<double> mindists;  // SIMS lower bounds
+
+  /// Optional per-query trace: when set, the search paths accumulate their
+  /// visited/pruned counters and stage timings into it (plain writes — the
+  /// trace is owned by this query execution). Null = no tracing cost.
+  QueryTrace* trace = nullptr;
 
   /// Sizes the fixed-size buffers for an index's summary options once; a
   /// no-op when already sized, so the query hot loops (per-entry distance

@@ -3,29 +3,122 @@
 #include <algorithm>
 #include <mutex>
 
+#include "src/common/timer.h"
+#include "src/io/io_stats.h"
+#include "src/obs/metrics.h"
+
 namespace coconut {
 
 namespace {
+
+/// Registry endpoints every batch records into; resolved once.
+struct QueryMetrics {
+  Histogram* exact_latency_ns;
+  Histogram* approx_latency_ns;
+  Histogram* batch_ns;
+  Counter* queries;
+  Counter* batches;
+  Counter* leaves_visited;
+  Counter* records_fetched;
+  Counter* pruned_mindist;
+  Counter* memtable_scanned;
+  Counter* route_ns;
+  Counter* approx_stage_ns;
+  Counter* refine_ns;
+  Counter* merge_ns;
+};
+
+QueryMetrics& Metrics() {
+  static QueryMetrics m = []() {
+    MetricRegistry& reg = MetricRegistry::Default();
+    return QueryMetrics{
+        reg.GetHistogram("query.exact.latency_ns"),
+        reg.GetHistogram("query.approx.latency_ns"),
+        reg.GetHistogram("query.batch_ns"),
+        reg.GetCounter("query.count"),
+        reg.GetCounter("query.batches"),
+        reg.GetCounter("query.leaves_visited"),
+        reg.GetCounter("query.records_fetched"),
+        reg.GetCounter("query.pruned_mindist"),
+        reg.GetCounter("query.memtable_scanned"),
+        reg.GetCounter("query.stage.route_ns"),
+        reg.GetCounter("query.stage.approx_ns"),
+        reg.GetCounter("query.stage.refine_ns"),
+        reg.GetCounter("query.stage.merge_ns"),
+    };
+  }();
+  return m;
+}
+
+/// Flushes one finished query's trace into the registry: one histogram
+/// record plus a handful of relaxed counter adds — the only shared-state
+/// touch the whole query makes.
+void FlushQueryTrace(const QueryTrace& t, bool exact) {
+  QueryMetrics& m = Metrics();
+  (exact ? m.exact_latency_ns : m.approx_latency_ns)->Record(t.total_ns);
+  m.queries->Increment();
+  m.leaves_visited->Add(t.leaves_visited);
+  m.records_fetched->Add(t.records_fetched);
+  m.pruned_mindist->Add(t.pruned_mindist);
+  m.memtable_scanned->Add(t.memtable_scanned);
+  m.route_ns->Add(t.route_ns);
+  m.approx_stage_ns->Add(t.approx_ns);
+  m.refine_ns->Add(t.refine_ns);
+  m.merge_ns->Add(t.merge_ns);
+}
+
+/// RAII batch bookkeeping: wall-time histogram + batch counter.
+class BatchScope {
+ public:
+  BatchScope() = default;
+  ~BatchScope() {
+    Metrics().batch_ns->Record(watch_.ElapsedNanos());
+    Metrics().batches->Increment();
+  }
+
+ private:
+  Stopwatch watch_;
+};
 
 /// Runs `one(i, scratch)` for every work index on the pool, collecting the
 /// first failure. Chunks share a per-chunk scratch (of type `Scratch`); the
 /// chunk size keeps a few chunks per thread for load balancing without
 /// allocating scratch per query.
+///
+/// Each item executes under a fresh QueryTrace hung off the scratch; hot
+/// loops bump the trace's plain fields and the finished trace is flushed to
+/// the registry here, once per item (skipped when `flush_per_item` is
+/// false — the store path aggregates its per-cell traces into per-query
+/// traces first). When `item_traces` is non-null it must be pre-sized to
+/// `num_items` and receives every item's trace.
 template <typename Scratch, typename Fn>
-Status RunBatch(ThreadPool* pool, size_t num_items, const Fn& one) {
+Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
+                bool flush_per_item, std::vector<QueryTrace>* item_traces,
+                const Fn& one) {
   Status first_error = Status::OK();
   std::mutex error_mu;
   pool->ParallelFor(
       0, num_items, /*grain=*/0,
       [&](uint64_t lo, uint64_t hi) {
+        // Attribute this chunk's file reads to the query component
+        // ("io.query.*"). Per-thread: nested fan-out (SIMS lower bounds)
+        // does no file I/O, so the coarse scope is accurate.
+        IoComponentScope io_scope("query");
         Scratch scratch;
         for (uint64_t i = lo; i < hi; ++i) {
+          QueryTrace trace;
+          scratch.trace = &trace;
+          Stopwatch watch;
           Status st = one(i, &scratch);
+          trace.total_ns = watch.ElapsedNanos();
+          scratch.trace = nullptr;
           if (!st.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = st;
             return;
           }
+          if (flush_per_item) FlushQueryTrace(trace, exact);
+          if (item_traces != nullptr) (*item_traces)[i] = trace;
         }
       });
   return first_error;
@@ -36,14 +129,18 @@ Status RunBatch(ThreadPool* pool, size_t num_items, const Fn& one) {
 Status QueryEngine::ExecuteBatch(const CoconutTree& tree,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  BatchScope batch;
   results->assign(queries.size(), SearchResult{});
+  if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
+  const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTree::QueryScratch>(
-      pool_, queries.size(),
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
-        return spec.mode == QuerySpec::Mode::kExact
+        return exact
                    ? tree.ExactSearch(q, spec.approx_leaves, r, spec.k,
                                       scratch)
                    : tree.ApproxSearch(q, spec.approx_leaves, r, spec.k,
@@ -54,22 +151,28 @@ Status QueryEngine::ExecuteBatch(const CoconutTree& tree,
 Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
-  return ExecuteBatch(forest, forest.GetSnapshot(), queries, spec, results);
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  return ExecuteBatch(forest, forest.GetSnapshot(), queries, spec, results,
+                      traces);
 }
 
 Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                                  const CoconutForest::Snapshot& snapshot,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  BatchScope batch;
   results->assign(queries.size(), SearchResult{});
+  if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
+  const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTree::QueryScratch>(
-      pool_, queries.size(),
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
-        return spec.mode == QuerySpec::Mode::kExact
+        return exact
                    ? forest.ExactSearch(snapshot, q, r, spec.k, scratch)
                    : forest.ApproxSearch(snapshot, q, spec.approx_leaves, r,
                                          spec.k, scratch);
@@ -79,14 +182,18 @@ Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
 Status QueryEngine::ExecuteBatch(const CoconutTrie& trie,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  BatchScope batch;
   results->assign(queries.size(), SearchResult{});
+  if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
+  const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTrie::QueryScratch>(
-      pool_, queries.size(),
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
       [&](uint64_t i, CoconutTrie::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
-        return spec.mode == QuerySpec::Mode::kExact
+        return exact
                    ? trie.ExactSearch(q, spec.approx_leaves, r, spec.k,
                                       scratch)
                    : trie.ApproxSearch(q, spec.approx_leaves, r, spec.k,
@@ -97,22 +204,28 @@ Status QueryEngine::ExecuteBatch(const CoconutTrie& trie,
 Status QueryEngine::ExecuteBatch(const ShardedStore& store,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
-  return ExecuteBatch(store, store.GetSnapshot(), queries, spec, results);
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  return ExecuteBatch(store, store.GetSnapshot(), queries, spec, results,
+                      traces);
 }
 
 Status QueryEngine::ExecuteBatch(const ShardedStore& store,
                                  const ShardedStore::Snapshot& snapshot,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
-                                 std::vector<SearchResult>* results) const {
+                                 std::vector<SearchResult>* results,
+                                 std::vector<QueryTrace>* traces) const {
+  BatchScope batch;
   results->assign(queries.size(), SearchResult{});
+  if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
   const size_t num_shards = snapshot.shards.size();
   if (num_shards != store.num_shards()) {
     return Status::InvalidArgument("snapshot shard count mismatch");
   }
   if (queries.empty()) return Status::OK();
   if (snapshot.num_entries() == 0) return Status::NotFound("empty store");
+  const bool exact = spec.mode == QuerySpec::Mode::kExact;
 
   // Cross-shard routing: the work grid is (query, shard) cells so a batch
   // saturates the pool even when it is smaller than the thread count; each
@@ -120,8 +233,9 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
   // Empty shards are skipped (their cell stays a default SearchResult,
   // which merges as "no candidates").
   std::vector<SearchResult> cells(queries.size() * num_shards);
+  std::vector<QueryTrace> cell_traces(cells.size());
   COCONUT_RETURN_IF_ERROR(RunBatch<CoconutTree::QueryScratch>(
-      pool_, cells.size(),
+      pool_, cells.size(), exact, /*flush_per_item=*/false, &cell_traces,
       [&](uint64_t cell, CoconutTree::QueryScratch* scratch) {
         const size_t qi = static_cast<size_t>(cell) / num_shards;
         const size_t si = static_cast<size_t>(cell) % num_shards;
@@ -129,7 +243,7 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
         const Value* q = queries[qi].data();
         SearchResult* r = &cells[cell];
         const CoconutForest& shard = store.shard(si);
-        return spec.mode == QuerySpec::Mode::kExact
+        return exact
                    ? shard.ExactSearch(snapshot.shards[si], q, r, spec.k,
                                        scratch)
                    : shard.ApproxSearch(snapshot.shards[si], q,
@@ -139,7 +253,17 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const std::vector<SearchResult> per_shard(
         cells.begin() + qi * num_shards, cells.begin() + (qi + 1) * num_shards);
+    QueryTrace qtrace;
+    for (size_t si = 0; si < num_shards; ++si) {
+      qtrace.MergeFrom(cell_traces[qi * num_shards + si]);
+    }
+    Stopwatch merge_watch;
     ShardedStore::MergeShardResults(per_shard, spec.k, &(*results)[qi]);
+    const uint64_t merge_ns = merge_watch.ElapsedNanos();
+    qtrace.merge_ns += merge_ns;
+    qtrace.total_ns += merge_ns;
+    FlushQueryTrace(qtrace, exact);
+    if (traces != nullptr) (*traces)[qi] = qtrace;
   }
   return Status::OK();
 }

@@ -35,6 +35,7 @@
 #include "src/core/coconut_tree.h"
 #include "src/core/coconut_trie.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/query_trace.h"
 #include "src/series/series.h"
 #include "src/store/sharded_store.h"
 
@@ -60,17 +61,24 @@ class QueryEngine {
   /// Runs every query against `tree`; `results` is resized to match
   /// `queries` and results are positionally aligned. On error the first
   /// failing status is returned (remaining queries may or may not have run).
+  ///
+  /// Every overload records per-query latency and work counters into the
+  /// process-wide MetricRegistry ("query.*"), and — when `traces` is
+  /// non-null — additionally returns the per-query QueryTrace, positionally
+  /// aligned with `queries`.
   Status ExecuteBatch(const CoconutTree& tree,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
   /// Snapshot-isolated batch over a forest: takes one snapshot and runs
   /// every query against it, concurrently with any writers.
   Status ExecuteBatch(const CoconutForest& forest,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
   /// Same, against a caller-held snapshot (e.g. to run several batches
   /// against the exact same state).
@@ -78,28 +86,35 @@ class QueryEngine {
                       const CoconutForest::Snapshot& snapshot,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
   /// Runs every query against a (const, thread-safe) trie.
   Status ExecuteBatch(const CoconutTrie& trie,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
   /// Store-wide snapshot-isolated batch: takes one ShardedStore::Snapshot
   /// and fans every query out across the per-shard snapshots (the work
-  /// grid is query x shard), merging per-shard answers per query.
+  /// grid is query x shard), merging per-shard answers per query. A
+  /// query's trace is the merge of its per-shard cell traces (its
+  /// total_ns is summed work time, not wall time, since cells run
+  /// concurrently).
   Status ExecuteBatch(const ShardedStore& store,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
   /// Same, against a caller-held store snapshot.
   Status ExecuteBatch(const ShardedStore& store,
                       const ShardedStore::Snapshot& snapshot,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
-                      std::vector<SearchResult>* results) const;
+                      std::vector<SearchResult>* results,
+                      std::vector<QueryTrace>* traces = nullptr) const;
 
  private:
   ThreadPool* pool_;

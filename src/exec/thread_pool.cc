@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "src/obs/metrics.h"
+
 namespace coconut {
 
 namespace {
@@ -14,7 +16,32 @@ unsigned ResolveThreads(unsigned threads) {
   return hw > 0 ? hw : 4;
 }
 
+struct PoolMetrics {
+  Counter* tasks_executed;
+  Counter* oneshot_inline_claims;
+  Histogram* queue_wait_ns;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = []() {
+    MetricRegistry& reg = MetricRegistry::Default();
+    return PoolMetrics{reg.GetCounter("exec.tasks_executed"),
+                       reg.GetCounter("exec.oneshot_inline_claims"),
+                       reg.GetHistogram("exec.queue_wait_ns")};
+  }();
+  return m;
+}
+
 }  // namespace
+
+void NoteOneShotInlineClaim() { Metrics().oneshot_inline_claims->Increment(); }
+
+void ThreadPool::NoteDequeued(const QueueEntry& entry) {
+  const auto wait = std::chrono::steady_clock::now() - entry.enqueued;
+  Metrics().queue_wait_ns->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  Metrics().tasks_executed->Increment();
+}
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned total = ResolveThreads(threads);
@@ -35,26 +62,28 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueueEntry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown and drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    NoteDequeued(entry);
+    entry.fn();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (workers_.empty()) {
+    Metrics().tasks_executed->Increment();
     fn();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back({std::move(fn), std::chrono::steady_clock::now()});
   }
   cv_.notify_one();
 }
@@ -128,9 +157,10 @@ void ThreadPool::ParallelFor(
   const uint64_t helpers =
       std::min<uint64_t>(workers_.size(), num_chunks - 1);
   {
+    const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     for (uint64_t i = 0; i < helpers; ++i) {
-      queue_.push_back([state, end]() { state->Drain(end); });
+      queue_.push_back({[state, end]() { state->Drain(end); }, now});
     }
   }
   cv_.notify_all();

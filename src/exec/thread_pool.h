@@ -19,6 +19,7 @@
 #define COCONUT_EXEC_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,10 @@
 #include <vector>
 
 namespace coconut {
+
+/// Bumps the "exec.oneshot_inline_claims" counter (defined in the .cc so
+/// this header stays free of the obs dependency).
+void NoteOneShotInlineClaim();
 
 class ThreadPool {
  public:
@@ -74,12 +79,22 @@ class ThreadPool {
  private:
   struct ForState;
 
+  /// A queued task stamped with its enqueue time, so dequeue can feed the
+  /// "exec.queue_wait_ns" histogram (how long work sat behind other work).
+  struct QueueEntry {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
+  /// Records queue-wait and tasks-executed metrics for a just-dequeued
+  /// entry (implemented in the .cc to keep obs out of this header).
+  static void NoteDequeued(const QueueEntry& entry);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueueEntry> queue_;
   bool shutdown_ = false;
 };
 
@@ -106,16 +121,19 @@ class OneShotTask {
   /// Blocks until the task has completed, claiming and running it inline if
   /// no worker started it yet. Safe to call from any thread, repeatedly.
   void Wait() {
-    RunOnce();
+    if (RunOnce()) NoteOneShotInlineClaim();
     future_.wait();
   }
 
  private:
-  void RunOnce() {
+  /// Returns true when this call claimed and executed the task.
+  bool RunOnce() {
     if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
       fn_();
       promise_.set_value();
+      return true;
     }
+    return false;
   }
 
   std::atomic<bool> claimed_{false};

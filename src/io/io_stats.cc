@@ -1,13 +1,68 @@
 #include "src/io/io_stats.h"
 
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
 
 namespace coconut {
 
-IoStats& IoStats::Instance() {
-  static IoStats instance;
-  return instance;
+namespace {
+
+IoCounterSet MakeCounterSet(const std::string& prefix) {
+  MetricRegistry& reg = MetricRegistry::Default();
+  IoCounterSet s;
+  s.read_ops = reg.GetCounter(prefix + "read_ops");
+  s.write_ops = reg.GetCounter(prefix + "write_ops");
+  s.random_read_ops = reg.GetCounter(prefix + "random_read_ops");
+  s.random_write_ops = reg.GetCounter(prefix + "random_write_ops");
+  s.bytes_read = reg.GetCounter(prefix + "bytes_read");
+  s.bytes_written = reg.GetCounter(prefix + "bytes_written");
+  return s;
 }
+
+/// Active per-thread attribution bucket; null outside any scope.
+thread_local const IoCounterSet* t_component = nullptr;
+
+}  // namespace
+
+IoStats& IoStats::Instance() {
+  // Leaked so recording through cached pointers stays valid during static
+  // destruction (the registry itself is leaked too).
+  static IoStats* instance = new IoStats();
+  return *instance;
+}
+
+IoStats::IoStats() : total_(MakeCounterSet("io.")) {}
+
+void IoStats::RecordRead(uint64_t bytes, bool random) {
+  total_.RecordRead(bytes, random);
+  if (const IoCounterSet* c = t_component) c->RecordRead(bytes, random);
+}
+
+void IoStats::RecordWrite(uint64_t bytes, bool random) {
+  total_.RecordWrite(bytes, random);
+  if (const IoCounterSet* c = t_component) c->RecordWrite(bytes, random);
+}
+
+const IoCounterSet& GetIoComponent(const std::string& component) {
+  static std::mutex* mu = new std::mutex();
+  static auto* sets = new std::map<std::string, std::unique_ptr<IoCounterSet>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*sets)[component];
+  if (!slot) {
+    slot = std::make_unique<IoCounterSet>(
+        MakeCounterSet("io." + component + "."));
+  }
+  return *slot;
+}
+
+IoComponentScope::IoComponentScope(const std::string& component)
+    : prev_(t_component) {
+  t_component = &GetIoComponent(component);
+}
+
+IoComponentScope::~IoComponentScope() { t_component = prev_; }
 
 std::string IoSnapshot::ToString() const {
   char buf[256];

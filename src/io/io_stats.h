@@ -8,12 +8,22 @@
 // but the counted block accesses preserve the complexity shape the paper
 // reasons about (O(N) random I/Os for top-down insertion vs O(N/B) sequential
 // I/Os for bottom-up bulk-loading).
+//
+// The counters live in the process-wide MetricRegistry ("io.read_ops",
+// "io.bytes_written", ...) so they appear in every exposition dump, and the
+// recording path additionally attributes each operation to the active
+// *component scope* on the calling thread (IoComponentScope below):
+// "io.query.read_ops", "io.sort.bytes_written", and so on. There is
+// deliberately no Reset(): a plain-store reset racing RecordRead/RecordWrite
+// silently lost counts — consumers take Snapshot() before and after and
+// subtract (IoSnapshot::operator-).
 #ifndef COCONUT_IO_IO_STATS_H_
 #define COCONUT_IO_IO_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "src/obs/metrics.h"
 
 namespace coconut {
 
@@ -42,51 +52,78 @@ struct IoSnapshot {
   std::string ToString() const;
 };
 
-/// Process-wide I/O counters. Thread-safe.
+/// The six I/O counters for one attribution bucket (the process total or
+/// one named component), registry-backed.
+struct IoCounterSet {
+  Counter* read_ops;
+  Counter* write_ops;
+  Counter* random_read_ops;
+  Counter* random_write_ops;
+  Counter* bytes_read;
+  Counter* bytes_written;
+
+  void RecordRead(uint64_t bytes, bool random) const {
+    read_ops->Increment();
+    bytes_read->Add(bytes);
+    if (random) random_read_ops->Increment();
+  }
+  void RecordWrite(uint64_t bytes, bool random) const {
+    write_ops->Increment();
+    bytes_written->Add(bytes);
+    if (random) random_write_ops->Increment();
+  }
+  IoSnapshot Snapshot() const {
+    IoSnapshot s;
+    s.read_ops = read_ops->Value();
+    s.write_ops = write_ops->Value();
+    s.random_read_ops = random_read_ops->Value();
+    s.random_write_ops = random_write_ops->Value();
+    s.bytes_read = bytes_read->Value();
+    s.bytes_written = bytes_written->Value();
+    return s;
+  }
+};
+
+/// Process-wide I/O counters. Thread-safe; recording is wait-free (striped
+/// relaxed counters, see src/obs/metrics.h).
 class IoStats {
  public:
   static IoStats& Instance();
 
-  void RecordRead(uint64_t bytes, bool random) {
-    read_ops_.fetch_add(1, std::memory_order_relaxed);
-    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
-    if (random) random_read_ops_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordWrite(uint64_t bytes, bool random) {
-    write_ops_.fetch_add(1, std::memory_order_relaxed);
-    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
-    if (random) random_write_ops_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordRead(uint64_t bytes, bool random);
+  void RecordWrite(uint64_t bytes, bool random);
 
-  IoSnapshot Snapshot() const {
-    IoSnapshot s;
-    s.read_ops = read_ops_.load(std::memory_order_relaxed);
-    s.write_ops = write_ops_.load(std::memory_order_relaxed);
-    s.random_read_ops = random_read_ops_.load(std::memory_order_relaxed);
-    s.random_write_ops = random_write_ops_.load(std::memory_order_relaxed);
-    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
-    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
-    return s;
-  }
-
-  void Reset() {
-    read_ops_ = 0;
-    write_ops_ = 0;
-    random_read_ops_ = 0;
-    random_write_ops_ = 0;
-    bytes_read_ = 0;
-    bytes_written_ = 0;
-  }
+  IoSnapshot Snapshot() const { return total_.Snapshot(); }
 
  private:
-  IoStats() = default;
+  IoStats();
 
-  std::atomic<uint64_t> read_ops_{0};
-  std::atomic<uint64_t> write_ops_{0};
-  std::atomic<uint64_t> random_read_ops_{0};
-  std::atomic<uint64_t> random_write_ops_{0};
-  std::atomic<uint64_t> bytes_read_{0};
-  std::atomic<uint64_t> bytes_written_{0};
+  IoCounterSet total_;
+};
+
+/// Returns the (never-destroyed) counter set for a named component —
+/// "query", "sort", "build", "journal", ... — registering
+/// "io.<component>.*" metrics on first use. Snapshot it directly for
+/// per-component deltas.
+const IoCounterSet& GetIoComponent(const std::string& component);
+
+/// RAII thread-local attribution scope: while alive on this thread, every
+/// I/O the thread issues through the src/io wrappers is ALSO counted
+/// against `component`. Scopes nest (the inner component wins, the outer is
+/// restored on exit). Attribution is per-thread: work a scope fans out to
+/// pool threads is only attributed where those threads establish their own
+/// scope — place scopes inside the chunk/task bodies, not around the
+/// fan-out.
+class IoComponentScope {
+ public:
+  explicit IoComponentScope(const std::string& component);
+  ~IoComponentScope();
+
+  IoComponentScope(const IoComponentScope&) = delete;
+  IoComponentScope& operator=(const IoComponentScope&) = delete;
+
+ private:
+  const IoCounterSet* prev_;
 };
 
 }  // namespace coconut

@@ -1,0 +1,278 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace coconut {
+
+namespace {
+
+/// Floor of log2(v); v must be non-zero.
+inline int FloorLog2(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(v);
+#else
+  int e = 0;
+  while (v >>= 1) ++e;
+  return e;
+#endif
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+/// ("store.commit.epoch_ns") map '.' and '-' to '_' and gain a namespace
+/// prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "coconut_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendJsonKey(std::ostringstream* out, const std::string& name,
+                   bool* first) {
+  if (!*first) *out << ",";
+  *first = false;
+  // Metric names are plain identifiers-with-dots; no escaping needed beyond
+  // quoting (enforced at registration by convention, cheap to keep true).
+  *out << "\"" << name << "\":";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter
+
+size_t Counter::StripeIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < (uint64_t{1} << kSubBits)) return static_cast<size_t>(value);
+  const int e = FloorLog2(value);
+  const size_t sub =
+      static_cast<size_t>((value >> (e - kSubBits)) & ((1u << kSubBits) - 1));
+  return (static_cast<size_t>(e - kSubBits + 1) << kSubBits) | sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t b) {
+  if (b < (size_t{1} << kSubBits)) return b;
+  const int e = static_cast<int>(b >> kSubBits) + kSubBits - 1;
+  const uint64_t sub = b & ((1u << kSubBits) - 1);
+  return (uint64_t{1} << e) | (sub << (e - kSubBits));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=1 selects the last sample.
+  uint64_t rank = static_cast<uint64_t>(q * double(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Upper bound of this bucket, clamped by the true observed max.
+      uint64_t hi = b + 1 < Histogram::kNumBuckets
+                        ? Histogram::BucketLowerBound(b + 1) - 1
+                        : max;
+      return hi < max ? hi : max;
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  d.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t before =
+        i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    d.buckets[i] = buckets[i] - before;
+    d.count += d.buckets[i];
+  }
+  d.sum = sum - earlier.sum;
+  d.max = max;  // max is not subtractable; keep the lifetime max
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// RegistrySnapshot
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+std::string RegistrySnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  char buf[64];
+  for (const auto& [name, v] : counters) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " counter\n";
+    out << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " gauge\n";
+    out << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string p = PrometheusName(name);
+    out << "# TYPE " << p << " summary\n";
+    static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+    for (double q : kQuantiles) {
+      std::snprintf(buf, sizeof(buf), "%g", q);
+      out << p << "{quantile=\"" << buf << "\"} " << h.ValueAtQuantile(q)
+          << "\n";
+    }
+    out << p << "_sum " << h.sum << "\n";
+    out << p << "_count " << h.count << "\n";
+    out << p << "_max " << h.max << "\n";
+  }
+  return out.str();
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    AppendJsonKey(&out, name, &first);
+    out << v;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    AppendJsonKey(&out, name, &first);
+    out << v;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    AppendJsonKey(&out, name, &first);
+    out << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"max\":" << h.max << ",\"p50\":" << h.ValueAtQuantile(0.5)
+        << ",\"p95\":" << h.ValueAtQuantile(0.95)
+        << ",\"p99\":" << h.ValueAtQuantile(0.99) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+namespace {
+
+void DumpAtExitText() {
+  std::fputs("---- coconut metrics (COCONUT_STATS=dump-at-exit) ----\n",
+             stderr);
+  std::fputs(MetricRegistry::Default().ToPrometheusText().c_str(), stderr);
+  std::fputs("---- end coconut metrics ----\n", stderr);
+}
+
+/// Written at exit so a whole run's metrics land in one scrapeable file
+/// (the CI bench job uploads it next to BENCH_query_engine.json).
+std::string* g_stats_json_path = nullptr;
+
+void DumpAtExitJson() {
+  std::FILE* f = std::fopen(g_stats_json_path->c_str(), "w");
+  if (f == nullptr) return;
+  const std::string json = MetricRegistry::Default().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked singleton: metric pointers handed out stay valid through static
+  // destruction, and the atexit dumps below can safely read the registry.
+  static MetricRegistry* registry = []() {
+    auto* r = new MetricRegistry();
+    if (const char* env = std::getenv("COCONUT_STATS")) {
+      if (std::string(env) == "dump-at-exit") std::atexit(DumpAtExitText);
+    }
+    if (const char* env = std::getenv("COCONUT_STATS_JSON")) {
+      if (env[0] != '\0') {
+        g_stats_json_path = new std::string(env);
+        std::atexit(DumpAtExitJson);
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace coconut

@@ -1,0 +1,175 @@
+// Process-wide metric registry: named counters, gauges, and log-bucketed
+// latency histograms with two exposition formats (Prometheus-style text and
+// JSON). See src/obs/README.md for the naming scheme and the recording-cost
+// contract.
+//
+// Recording is wait-free and TSan-clean:
+//  * Counter spreads increments over cache-line-padded stripes indexed by a
+//    per-thread id, so concurrent writers on different threads rarely share
+//    a line; every operation is a relaxed fetch_add.
+//  * Histogram::Record is two relaxed fetch_adds (bucket + sum) and a
+//    relaxed CAS max. Buckets are log-linear (8 sub-buckets per octave,
+//    HdrHistogram-style) so the relative quantile error is bounded by 12.5%
+//    while the whole bucket array stays under 4 KiB.
+//  * Gauge is a single relaxed atomic (gauges are low-frequency by nature).
+//
+// Reading (Snapshot / exposition) takes the registry mutex and sums
+// stripes; it is intended for periodic scraping, not hot paths. Metric
+// objects are never destroyed once registered — call sites may cache the
+// returned pointer forever (the idiom is a function-local static).
+#ifndef COCONUT_OBS_METRICS_H_
+#define COCONUT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coconut {
+
+/// Monotonic counter. Striped relaxed atomics: Add never blocks and never
+/// contends across threads mapped to different stripes.
+class Counter {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  void Add(uint64_t delta) {
+    cells_[StripeIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t StripeIndex();
+
+  Cell cells_[kStripes];
+};
+
+/// Point-in-time value (queue depths, open snapshots, ...). Single relaxed
+/// atomic: gauges are set/adjusted at low frequency.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Read-only copy of a histogram's state; merge-able across histograms
+/// (thread shards, processes) and subtractable for interval deltas.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // dense, Histogram::kNumBuckets wide
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the q-th sample (≤ 12.5% above the true value). 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+
+  void Merge(const HistogramSnapshot& other);
+  /// This snapshot minus an earlier one of the same histogram.
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+};
+
+/// Log-linear (log-bucketed) histogram of non-negative integer samples,
+/// typically nanoseconds. Values 0..7 get exact buckets; above that each
+/// power-of-two octave is split into 8 linear sub-buckets, bounding the
+/// relative error of any reported quantile by 1/8.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 sub-buckets per octave
+  static constexpr size_t kNumBuckets = 496;
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index for `value` (exposed for tests).
+  static size_t BucketFor(uint64_t value);
+  /// Smallest value mapping to bucket `b`; the bucket's upper bound is
+  /// BucketLowerBound(b + 1) - 1 (exposed for tests).
+  static uint64_t BucketLowerBound(size_t b);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Full-registry snapshot: plain data, safe to hold, merge, diff, or
+/// serialize long after capture.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Element-wise accumulate (union of names).
+  void Merge(const RegistrySnapshot& other);
+  std::string ToPrometheusText() const;
+  std::string ToJson() const;
+};
+
+/// Named metric registry. Get* registers on first use and always returns
+/// the same never-destroyed object for a name, so call sites cache the
+/// pointer:
+///
+///   static Counter* c = MetricRegistry::Default().GetCounter("io.read_ops");
+///   c->Increment();
+///
+/// Registration takes a mutex (cold path); recording through the returned
+/// pointers never does.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+  std::string ToPrometheusText() const { return Snapshot().ToPrometheusText(); }
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// The process-wide registry (never destroyed). First call also arms the
+  /// COCONUT_STATS environment toggles:
+  ///   COCONUT_STATS=dump-at-exit   -> Prometheus text dump to stderr at exit
+  ///   COCONUT_STATS_JSON=<path>    -> JSON snapshot written to <path> at exit
+  static MetricRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_OBS_METRICS_H_

@@ -1,0 +1,56 @@
+// RAII stage timers: measure a scope's wall time in nanoseconds and record
+// it on destruction — into a Histogram (latency distributions) or into a
+// plain uint64_t accumulator (QueryTrace stage fields, where the trace is
+// single-owner and atomics would be waste).
+//
+// Both adapters accept nullptr targets and then cost two branch
+// instructions total, so call sites can keep one code path whether tracing
+// is on or off.
+#ifndef COCONUT_OBS_STAGE_TIMER_H_
+#define COCONUT_OBS_STAGE_TIMER_H_
+
+#include <cstdint>
+
+#include "src/common/timer.h"
+#include "src/obs/metrics.h"
+
+namespace coconut {
+
+/// Records the scope's duration into a latency histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(watch_.ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNanos() const { return watch_.ElapsedNanos(); }
+
+ private:
+  Histogram* hist_;
+  Stopwatch watch_;
+};
+
+/// Accumulates the scope's duration into `*sink` (+=). Used for QueryTrace
+/// stage fields, which are thread-local plain data.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(uint64_t* sink) : sink_(sink) {}
+  ~ScopedStageTimer() {
+    if (sink_ != nullptr) *sink_ += watch_.ElapsedNanos();
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  Stopwatch watch_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_OBS_STAGE_TIMER_H_

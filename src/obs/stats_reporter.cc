@@ -1,0 +1,71 @@
+#include "src/obs/stats_reporter.h"
+
+#include <cinttypes>
+#include <string>
+
+namespace coconut {
+
+StatsReporter::StatsReporter(std::chrono::milliseconds interval,
+                             MetricRegistry* registry, std::FILE* out)
+    : interval_(interval), registry_(registry), out_(out) {
+  last_ = registry_->Snapshot();
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this]() { return stop_; })) break;
+    lock.unlock();
+    ReportOnce();
+    lock.lock();
+  }
+}
+
+void StatsReporter::ReportOnce() {
+  const RegistrySnapshot now = registry_->Snapshot();
+  std::string line = "[coconut-stats]";
+  for (const auto& [name, v] : now.counters) {
+    auto it = last_.counters.find(name);
+    const uint64_t before = it == last_.counters.end() ? 0 : it->second;
+    if (v != before) {
+      line += " " + name + "=+" + std::to_string(v - before);
+    }
+  }
+  for (const auto& [name, v] : now.gauges) {
+    auto it = last_.gauges.find(name);
+    if (it == last_.gauges.end() || it->second != v) {
+      line += " " + name + "=" + std::to_string(v);
+    }
+  }
+  for (const auto& [name, h] : now.histograms) {
+    auto it = last_.histograms.find(name);
+    const uint64_t before =
+        it == last_.histograms.end() ? 0 : it->second.count;
+    if (h.count != before) {
+      const HistogramSnapshot d =
+          it == last_.histograms.end() ? h : h.Delta(it->second);
+      line += " " + name + "{n=+" + std::to_string(d.count) +
+              ",p50=" + std::to_string(d.ValueAtQuantile(0.5)) +
+              ",p99=" + std::to_string(d.ValueAtQuantile(0.99)) + "}";
+    }
+  }
+  if (line.size() > sizeof("[coconut-stats]") - 1) {
+    line += "\n";
+    std::fputs(line.c_str(), out_);
+    std::fflush(out_);
+  }
+  last_ = now;
+}
+
+}  // namespace coconut

@@ -1,0 +1,53 @@
+// Opt-in periodic metrics logger: a background thread that snapshots the
+// registry every `interval` and writes the metrics that changed since the
+// previous tick to stderr (or a caller-supplied FILE*). Meant for
+// long-running ingest/bench sessions; one-shot tools use the
+// COCONUT_STATS=dump-at-exit toggle instead.
+#ifndef COCONUT_OBS_STATS_REPORTER_H_
+#define COCONUT_OBS_STATS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace coconut {
+
+class StatsReporter {
+ public:
+  /// Starts reporting `registry` every `interval` to `out` (default
+  /// stderr). The first report happens one interval after construction.
+  explicit StatsReporter(
+      std::chrono::milliseconds interval,
+      MetricRegistry* registry = &MetricRegistry::Default(),
+      std::FILE* out = stderr);
+
+  /// Stops the reporter thread (idempotent; also run by the destructor).
+  void Stop();
+
+  ~StatsReporter() { Stop(); }
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+ private:
+  void Loop();
+  void ReportOnce();
+
+  std::chrono::milliseconds interval_;
+  MetricRegistry* registry_;
+  std::FILE* out_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  RegistrySnapshot last_;
+  std::thread thread_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_OBS_STATS_REPORTER_H_

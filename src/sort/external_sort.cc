@@ -9,6 +9,8 @@
 
 #include "src/common/env.h"
 #include "src/exec/thread_pool.h"
+#include "src/io/io_stats.h"
+#include "src/obs/stage_timer.h"
 #include "src/sort/loser_tree.h"
 #include "src/sort/record_sort.h"
 
@@ -376,6 +378,19 @@ Status ExternalSorter::SpillBuffer() {
 Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
                                        size_t count,
                                        const std::string& path) {
+  static Histogram* run_gen_ns =
+      MetricRegistry::Default().GetHistogram("sort.run_gen_ns");
+  static Histogram* spill_write_ns =
+      MetricRegistry::Default().GetHistogram("sort.spill_write_ns");
+  static Counter* spill_bytes =
+      MetricRegistry::Default().GetCounter("sort.spill_bytes");
+  static Counter* runs_spilled =
+      MetricRegistry::Default().GetCounter("sort.runs_spilled");
+  // This may run on a pool worker (the double-buffered background spill),
+  // so establish the I/O attribution scope here, not in the caller.
+  IoComponentScope io_scope("sort");
+
+  Stopwatch sort_watch;
   RecordSortSpec spec;
   spec.base = records.data();
   spec.record_bytes = options_.record_bytes;
@@ -385,7 +400,9 @@ Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
   spec.pool = pool_;
   std::vector<uint32_t> order;
   StableSortRecords(spec, &order);
+  run_gen_ns->Record(sort_watch.ElapsedNanos());
 
+  ScopedTimer write_timer(spill_write_ns);
   BufferedWriter writer;
   if (pool_ != nullptr) writer.EnableAsyncFlush(pool_);
   COCONUT_RETURN_IF_ERROR(writer.Open(path));
@@ -394,12 +411,18 @@ Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
     COCONUT_RETURN_IF_ERROR(writer.Write(
         records.data() + size_t{order[i]} * record_bytes, record_bytes));
   }
+  spill_bytes->Add(count * record_bytes);
+  runs_spilled->Increment();
   return writer.Finish();
 }
 
 Status ExternalSorter::MergeGroup(const std::vector<std::string>& inputs,
                                   const std::string& output,
                                   size_t input_buffer_bytes) {
+  static Histogram* merge_ns =
+      MetricRegistry::Default().GetHistogram("sort.merge_ns");
+  ScopedTimer merge_timer(merge_ns);
+  IoComponentScope io_scope("sort");
   std::vector<std::unique_ptr<FileStream>> streams;
   streams.reserve(inputs.size());
   for (const std::string& path : inputs) {
@@ -419,6 +442,10 @@ Status ExternalSorter::MergeGroup(const std::vector<std::string>& inputs,
 Status ExternalSorter::PartitionedFinalMerge(
     const std::vector<std::string>& inputs,
     std::unique_ptr<SortedRecordStream>* out) {
+  static Histogram* merge_ns =
+      MetricRegistry::Default().GetHistogram("sort.merge_ns");
+  ScopedTimer merge_timer(merge_ns);
+  IoComponentScope io_scope("sort");
   const size_t record_bytes = options_.record_bytes;
   const size_t key_bytes = options_.key_bytes;
   const size_t k = inputs.size();

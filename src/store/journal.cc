@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/env.h"
+#include "src/obs/metrics.h"
 
 namespace coconut {
 
@@ -164,6 +165,12 @@ Status CommitJournal::Scan(const std::string& store_dir,
 }
 
 Status CommitJournal::AppendRecord(const std::string& line) {
+  static Counter* records =
+      MetricRegistry::Default().GetCounter("store.journal.records");
+  static Counter* bytes =
+      MetricRegistry::Default().GetCounter("store.journal.bytes");
+  records->Increment();
+  bytes->Add(line.size());
   COCONUT_RETURN_IF_ERROR(file_->Append(line.data(), line.size()));
   return file_->Sync();
 }

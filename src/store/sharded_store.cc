@@ -6,6 +6,8 @@
 
 #include "src/common/env.h"
 #include "src/core/knn.h"
+#include "src/io/io_stats.h"
+#include "src/obs/stage_timer.h"
 #include "src/summary/invsax.h"
 
 namespace coconut {
@@ -272,6 +274,9 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
     // raw-file-as-WAL semantics — reopen restores a whole-series prefix
     // of the append (never a torn series, but possibly a prefix of a
     // multi-series batch); there is no cross-shard state to tear.
+    static Counter* single_shard_batches = MetricRegistry::Default().GetCounter(
+        "store.commit.single_shard_batches");
+    single_shard_batches->Increment();
     return TagShard(owner[0], shards_[owner[0]]->InsertBatch(batch));
   }
 
@@ -284,6 +289,19 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
 
 Status ShardedStore::CommitCrossShardLocked(
     std::vector<std::vector<Series>> buckets) {
+  // Commit-protocol metrics: whole-epoch latency plus the staged-vs-
+  // published breakdown (stage = durable appends, publish = visibility
+  // flip under the lock).
+  static Histogram* epoch_ns =
+      MetricRegistry::Default().GetHistogram("store.commit.epoch_ns");
+  static Histogram* stage_ns =
+      MetricRegistry::Default().GetHistogram("store.commit.stage_ns");
+  static Histogram* publish_ns =
+      MetricRegistry::Default().GetHistogram("store.commit.publish_ns");
+  static Counter* epochs =
+      MetricRegistry::Default().GetCounter("store.commit.epochs");
+  ScopedTimer epoch_timer(epoch_ns);
+
   std::vector<size_t> touched;
   for (size_t i = 0; i < buckets.size(); ++i) {
     if (!buckets[i].empty()) touched.push_back(i);
@@ -310,9 +328,14 @@ Status ShardedStore::CommitCrossShardLocked(
   std::vector<CoconutForest::StagedBatch> staged(buckets.size());
   std::vector<Status> stage_status(buckets.size());
   auto stage_one = [this, &buckets, &staged](size_t i) {
+    // Attribute the durable staging appends to the commit component
+    // ("io.commit.*"); the epoch journal's own records are counted
+    // separately in src/store/journal.cc.
+    IoComponentScope io_scope("commit");
     COCONUT_RETURN_IF_ERROR(Fault(CommitPoint::kShardStage, i));
     return shards_[i]->StageBatch(buckets[i], &staged[i]);
   };
+  Stopwatch stage_watch;
   std::vector<std::future<Status>> pending;
   for (size_t t = 1; t < touched.size(); ++t) {
     const size_t i = touched[t];
@@ -322,6 +345,7 @@ Status ShardedStore::CommitCrossShardLocked(
   for (size_t t = 1; t < touched.size(); ++t) {
     stage_status[touched[t]] = pending[t - 1].get();
   }
+  stage_ns->Record(stage_watch.ElapsedNanos());
   std::string failed;
   for (size_t i : touched) {
     if (stage_status[i].ok()) continue;
@@ -354,6 +378,7 @@ Status ShardedStore::CommitCrossShardLocked(
   //    unpublished — journal-committed, so reopen recovers it, exactly the
   //    kAfterJournalCommit crash shape.
   {
+    ScopedTimer publish_timer(publish_ns);
     std::unique_lock<std::shared_mutex> visibility_lock(visibility_mu_);
     for (size_t i : touched) {
       if (!shards_[i]->StagedFits(staged[i])) {
@@ -368,6 +393,7 @@ Status ShardedStore::CommitCrossShardLocked(
     }
     committed_epoch_.store(epoch, std::memory_order_release);
   }
+  epochs->Increment();
 
   // 5. Deferred maintenance outside the visibility lock: staged
   //    publications skip the forest's automatic compaction trigger, so run
@@ -429,6 +455,9 @@ Status ShardedStore::CommitManifestLocked() {
 }
 
 Status ShardedStore::Flush() {
+  static Histogram* flush_ns =
+      MetricRegistry::Default().GetHistogram("store.flush_ns");
+  ScopedTimer flush_timer(flush_ns);
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   COCONUT_RETURN_IF_ERROR(poison_);
   COCONUT_RETURN_IF_ERROR(
