@@ -18,12 +18,16 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "src/core/coconut_forest.h"
 #include "src/core/coconut_tree.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
 #include "src/io/io_stats.h"
+#include "src/net/admin_server.h"
 #include "src/obs/metrics.h"
 #include "src/simd/kernels.h"
 #include "src/store/sharded_store.h"
@@ -60,10 +64,18 @@ class MetricProbe {
     const RegistrySnapshot now = MetricRegistry::Default().Snapshot();
     row->io_read_ops = IoStats::Instance().Snapshot().read_ops - io_.read_ops;
     row->leaves_visited = CounterDelta(now, "query.leaves_visited");
-    const auto it = now.histograms.find("query.exact.latency_ns");
+    // Per-query cost from the thread-CPU clock, not wall time. The wall
+    // histogram (query.exact.latency_ns) times each item from its dispatch,
+    // so on an oversubscribed pool (8 threads on this 1-core container) a
+    // query is also charged every time slice its thread spent descheduled
+    // while siblings ran — which made p99 grow ~linearly with the thread
+    // count for identical per-query work. query.exact.cpu_ns counts only
+    // nanoseconds the executing thread actually ran, so the quantile tracks
+    // algorithmic cost across thread-sweep rows.
+    const auto it = now.histograms.find("query.exact.cpu_ns");
     if (it != now.histograms.end()) {
       HistogramSnapshot d = it->second;
-      const auto old = reg_.histograms.find("query.exact.latency_ns");
+      const auto old = reg_.histograms.find("query.exact.cpu_ns");
       if (old != reg_.histograms.end()) d = d.Delta(old->second);
       row->p99_latency_ns = d.ValueAtQuantile(0.99);
     }
@@ -285,6 +297,20 @@ void Run() {
 }  // namespace coconut
 
 int main() {
+  // COCONUT_ADMIN_PORT=<p> serves /metrics, /tracez, ... while the bench
+  // runs (CI curls them mid-run); COCONUT_ADMIN_LINGER_MS=<n> keeps the
+  // process (and server) alive after the sweeps so short benches can still
+  // be scraped.
+  coconut::AdminServer* admin = coconut::AdminServer::MaybeStartFromEnv();
   coconut::bench::Run();
+  if (admin != nullptr) {
+    if (const char* env = std::getenv("COCONUT_ADMIN_LINGER_MS")) {
+      const unsigned long ms = std::strtoul(env, nullptr, 10);
+      std::printf("lingering %lu ms for admin scrapes on port %u\n", ms,
+                  static_cast<unsigned>(admin->port()));
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    admin->Stop();
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "src/core/knn.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/stage_timer.h"
+#include "src/obs/trace.h"
 #include "src/series/distance.h"
 #include "src/summary/invsax.h"
 
@@ -365,6 +366,7 @@ Status CoconutForest::FlushWriterLocked() {
   static Counter* flush_entries =
       MetricRegistry::Default().GetCounter("forest.flush_entries");
   ScopedTimer flush_timer(flush_ns);
+  TraceSpan flush_span("forest.flush", "forest");
   flush_entries->Add(count);
   const std::shared_ptr<std::vector<MemEntry>> mem = memtable_;
   std::vector<uint8_t> sorted =
@@ -524,6 +526,7 @@ Status CoconutForest::CompactWriterLocked() {
   static Histogram* merge_fan_in =
       MetricRegistry::Default().GetHistogram("forest.compaction.merge_fan_in");
   ScopedTimer compaction_timer(compaction_ns);
+  TraceSpan compaction_span("forest.compaction", "forest");
   merge_fan_in->Record(inputs.size());
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
   const std::string path = RunPath(next_run_id_++);

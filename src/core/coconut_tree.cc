@@ -12,6 +12,7 @@
 
 #include "src/common/env.h"
 #include "src/common/timer.h"
+#include "src/obs/trace.h"
 #include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/io/buffered_io.h"
@@ -159,6 +160,7 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   if (num_leaves == 0) num_leaves = 1;
   QueryTrace* const trace = scratch->trace;
   Stopwatch stage;  // consulted only when tracing
+  TraceStages spans;
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -166,6 +168,7 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   const ZKey key = InvSaxFromSax(scratch->sax.data(), sum);
 
   const uint64_t target = LocateLeaf(key);
+  spans.Mark("tree.route", "query");
   if (trace != nullptr) {
     trace->route_ns += stage.ElapsedNanos();
     stage.Restart();
@@ -196,6 +199,7 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
+  spans.Mark("tree.approx", "query");
   if (trace != nullptr) {
     trace->approx_ns += stage.ElapsedNanos();
     trace->leaves_visited += hi - lo + 1;
@@ -267,6 +271,7 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
 
   QueryTrace* const trace = scratch->trace;
   Stopwatch stage;  // refine stage: lower bounds + skip-sequential scan
+  TraceStages spans;
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -318,6 +323,7 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
   knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + leaves_read;
+  spans.Mark("tree.refine", "query");
   if (trace != nullptr) {
     trace->refine_ns += stage.ElapsedNanos();
     trace->leaves_visited += leaves_read;

@@ -9,6 +9,7 @@
 
 #include "src/common/env.h"
 #include "src/common/timer.h"
+#include "src/obs/trace.h"
 #include "src/core/knn.h"
 #include "src/core/sims_common.h"
 #include "src/core/tree_format.h"
@@ -536,6 +537,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   if (num_pages == 0) num_pages = 1;
   QueryTrace* const trace = scratch->trace;
   Stopwatch stage;  // consulted only when tracing
+  TraceStages spans;
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   double* paa = scratch->paa.data();
@@ -550,6 +552,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
       target > (num_pages - 1) / 2 ? target - (num_pages - 1) / 2 : 0;
   uint64_t hi = std::min<uint64_t>(super_.num_pages - 1, lo + num_pages - 1);
   lo = (hi + 1 >= num_pages) ? hi + 1 - num_pages : 0;
+  spans.Mark("trie.route", "query");
   if (trace != nullptr) {
     trace->route_ns += stage.ElapsedNanos();
     stage.Restart();
@@ -583,6 +586,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   knn.Finalize(result);
   result->visited_records = visited;
   result->leaves_read = hi - lo + 1;
+  spans.Mark("trie.approx", "query");
   if (trace != nullptr) {
     trace->approx_ns += stage.ElapsedNanos();
     trace->leaves_visited += hi - lo + 1;
@@ -651,6 +655,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
 
   QueryTrace* const trace = scratch->trace;
   Stopwatch stage;  // refine stage: lower bounds + skip-sequential scan
+  TraceStages spans;
   const SummaryOptions& sum = options_.summary;
   scratch->Prepare(sum.series_length, sum.segments);
   PaaTransform(query, sum.series_length, sum.segments, scratch->paa.data());
@@ -698,6 +703,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
   knn.Finalize(result);
   result->visited_records = approx.visited_records + visited;
   result->leaves_read = approx.leaves_read + pages_read;
+  spans.Mark("trie.refine", "query");
   if (trace != nullptr) {
     trace->refine_ns += stage.ElapsedNanos();
     trace->leaves_visited += pages_read;

@@ -6,6 +6,8 @@
 #include "src/common/timer.h"
 #include "src/io/io_stats.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slow_query_log.h"
+#include "src/obs/trace.h"
 
 namespace coconut {
 
@@ -15,6 +17,8 @@ namespace {
 struct QueryMetrics {
   Histogram* exact_latency_ns;
   Histogram* approx_latency_ns;
+  Histogram* exact_cpu_ns;
+  Histogram* approx_cpu_ns;
   Histogram* batch_ns;
   Counter* queries;
   Counter* batches;
@@ -34,6 +38,8 @@ QueryMetrics& Metrics() {
     return QueryMetrics{
         reg.GetHistogram("query.exact.latency_ns"),
         reg.GetHistogram("query.approx.latency_ns"),
+        reg.GetHistogram("query.exact.cpu_ns"),
+        reg.GetHistogram("query.approx.cpu_ns"),
         reg.GetHistogram("query.batch_ns"),
         reg.GetCounter("query.count"),
         reg.GetCounter("query.batches"),
@@ -56,6 +62,8 @@ QueryMetrics& Metrics() {
 void FlushQueryTrace(const QueryTrace& t, bool exact) {
   QueryMetrics& m = Metrics();
   (exact ? m.exact_latency_ns : m.approx_latency_ns)->Record(t.total_ns);
+  (exact ? m.exact_cpu_ns : m.approx_cpu_ns)->Record(t.cpu_ns);
+  SlowQueryLog::Default().Record(t, exact);
   m.queries->Increment();
   m.leaves_visited->Add(t.leaves_visited);
   m.records_fetched->Add(t.records_fetched);
@@ -108,9 +116,15 @@ Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
         for (uint64_t i = lo; i < hi; ++i) {
           QueryTrace trace;
           scratch.trace = &trace;
+          // Both clocks start at this item's dispatch (not batch start):
+          // wall for end-to-end latency, thread-CPU for oversubscription-
+          // independent per-query cost (see QueryTrace::cpu_ns).
+          TraceSpan span(exact ? "query.exact" : "query.approx", "query");
+          ThreadCpuStopwatch cpu;
           Stopwatch watch;
           Status st = one(i, &scratch);
           trace.total_ns = watch.ElapsedNanos();
+          trace.cpu_ns = cpu.ElapsedNanos();
           scratch.trace = nullptr;
           if (!st.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
@@ -257,9 +271,14 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
     for (size_t si = 0; si < num_shards; ++si) {
       qtrace.MergeFrom(cell_traces[qi * num_shards + si]);
     }
+    ThreadCpuStopwatch merge_cpu;
     Stopwatch merge_watch;
-    ShardedStore::MergeShardResults(per_shard, spec.k, &(*results)[qi]);
+    {
+      TraceSpan merge_span("query.merge", "query");
+      ShardedStore::MergeShardResults(per_shard, spec.k, &(*results)[qi]);
+    }
     const uint64_t merge_ns = merge_watch.ElapsedNanos();
+    qtrace.cpu_ns += merge_cpu.ElapsedNanos();
     qtrace.merge_ns += merge_ns;
     qtrace.total_ns += merge_ns;
     FlushQueryTrace(qtrace, exact);

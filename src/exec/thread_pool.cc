@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace coconut {
 
@@ -43,6 +44,26 @@ void ThreadPool::NoteDequeued(const QueueEntry& entry) {
   Metrics().tasks_executed->Increment();
 }
 
+void ThreadPool::RunEntryTraced(const QueueEntry& entry) {
+  if (!Tracer::Enabled()) {
+    entry.fn();
+    return;
+  }
+  const uint64_t start = Tracer::NowNanos();
+  entry.fn();
+  const uint64_t end = Tracer::NowNanos();
+  Tracer& tracer = Tracer::Default();
+  tracer.RecordComplete("pool.task", "pool", start, end);
+  if (entry.flow_id != 0) {
+    // The flow-finish must land *inside* the task slice to bind to it
+    // ("bp":"e"), so nudge it past the slice start but keep it within even
+    // the shortest task.
+    const uint64_t bind_ts =
+        start + std::min<uint64_t>((end - start) / 2, 1000);
+    tracer.RecordFlow('f', "pool.enqueue", entry.flow_id, bind_ts);
+  }
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned total = ResolveThreads(threads);
   workers_.reserve(total > 0 ? total - 1 : 0);
@@ -71,7 +92,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     NoteDequeued(entry);
-    entry.fn();
+    RunEntryTraced(entry);
   }
 }
 
@@ -81,11 +102,25 @@ void ThreadPool::Submit(std::function<void()> fn) {
     fn();
     return;
   }
+  // When tracing, stamp the entry with a flow id and emit the flow-start
+  // inside a tiny "pool.submit" slice on this thread; the executing worker
+  // emits the matching flow-finish inside its "pool.task" slice — the
+  // enqueue->execute arrow in the trace viewer.
+  const bool traced = Tracer::Enabled();
+  const uint64_t flow_id = traced ? Tracer::Default().NextFlowId() : 0;
+  const uint64_t t0 = traced ? Tracer::NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back({std::move(fn), std::chrono::steady_clock::now()});
+    queue_.push_back(
+        {std::move(fn), std::chrono::steady_clock::now(), flow_id});
   }
   cv_.notify_one();
+  if (traced) {
+    Tracer& tracer = Tracer::Default();
+    const uint64_t t1 = Tracer::NowNanos();
+    tracer.RecordComplete("pool.submit", "pool", t0, t1);
+    tracer.RecordFlow('s', "pool.enqueue", flow_id, t0 + (t1 - t0) / 2);
+  }
 }
 
 /// Shared chunk cursor for one ParallelFor invocation. Heap-allocated and
@@ -156,14 +191,35 @@ void ThreadPool::ParallelFor(
   // without dereferencing it.
   const uint64_t helpers =
       std::min<uint64_t>(workers_.size(), num_chunks - 1);
+  const bool traced = Tracer::Enabled();
+  const uint64_t t0 = traced ? Tracer::NowNanos() : 0;
+  std::vector<uint64_t> flow_ids;
+  if (traced) {
+    flow_ids.reserve(helpers);
+    for (uint64_t i = 0; i < helpers; ++i) {
+      flow_ids.push_back(Tracer::Default().NextFlowId());
+    }
+  }
   {
     const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mu_);
     for (uint64_t i = 0; i < helpers; ++i) {
-      queue_.push_back({[state, end]() { state->Drain(end); }, now});
+      queue_.push_back({[state, end]() { state->Drain(end); }, now,
+                        traced ? flow_ids[i] : 0});
     }
   }
   cv_.notify_all();
+  if (traced) {
+    // One flow-start per helper task, all inside one submit slice: the
+    // viewer draws a fan of arrows from this thread to every worker that
+    // picked up a chunk-drain task.
+    Tracer& tracer = Tracer::Default();
+    const uint64_t t1 = Tracer::NowNanos();
+    tracer.RecordComplete("pool.submit_parallel_for", "pool", t0, t1);
+    for (uint64_t id : flow_ids) {
+      tracer.RecordFlow('s', "pool.enqueue", id, t0 + (t1 - t0) / 2);
+    }
+  }
 
   // The caller participates; this guarantees forward progress even when all
   // workers are busy with other (possibly enclosing) tasks.

@@ -80,16 +80,22 @@ class ThreadPool {
   struct ForState;
 
   /// A queued task stamped with its enqueue time, so dequeue can feed the
-  /// "exec.queue_wait_ns" histogram (how long work sat behind other work).
+  /// "exec.queue_wait_ns" histogram (how long work sat behind other work),
+  /// and with a tracer flow id (0 = tracing was off at enqueue) so the
+  /// span tracer can draw the enqueue->execute arrow across threads.
   struct QueueEntry {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    uint64_t flow_id = 0;
   };
 
   void WorkerLoop();
   /// Records queue-wait and tasks-executed metrics for a just-dequeued
   /// entry (implemented in the .cc to keep obs out of this header).
   static void NoteDequeued(const QueueEntry& entry);
+  /// Runs a dequeued entry, recording a "pool.task" span plus the flow
+  /// 'f' event pairing it with its enqueue when tracing is on.
+  static void RunEntryTraced(const QueueEntry& entry);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

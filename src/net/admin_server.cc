@@ -1,0 +1,351 @@
+#include "src/net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slow_query_log.h"
+#include "src/obs/trace.h"
+#include "src/simd/kernels.h"
+
+namespace coconut {
+
+namespace {
+
+struct AdminMetrics {
+  Counter* requests;
+  Counter* not_found;
+};
+
+AdminMetrics& Metrics() {
+  static AdminMetrics m = []() {
+    MetricRegistry& reg = MetricRegistry::Default();
+    return AdminMetrics{reg.GetCounter("net.admin.requests"),
+                        reg.GetCounter("net.admin.not_found")};
+  }();
+  return m;
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// `?duration_ms=N` -> N; `fallback` when absent or malformed.
+uint64_t QueryParam(const std::string& target, const std::string& key,
+                    uint64_t fallback) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return fallback;
+  std::string rest = target.substr(q + 1);
+  const std::string prefix = key + "=";
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t amp = rest.find('&', pos);
+    if (amp == std::string::npos) amp = rest.size();
+    const std::string pair = rest.substr(pos, amp - pos);
+    if (pair.compare(0, prefix.size(), prefix) == 0) {
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(pair.c_str() + prefix.size(), &end, 10);
+      if (end != pair.c_str() + prefix.size()) return v;
+      return fallback;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+std::string StatuszJson(uint64_t start_ns) {
+  const uint64_t uptime_ns = Tracer::NowNanos() - start_ns;
+  std::string out = "{";
+  out += "\"build\":\"";
+#ifdef NDEBUG
+  out += "release";
+#else
+  out += "debug";
+#endif
+  out += "\",\"compiler\":\"";
+#if defined(__VERSION__)
+  AppendJsonEscaped(__VERSION__, &out);
+#else
+  out += "unknown";
+#endif
+  out += "\",\"simd_kernel\":\"";
+  out += simd::Kernels().name;
+  out += "\",\"uptime_s\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(uptime_ns) / 1e9);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"pool_threads\":%u",
+                ThreadPool::Shared()->parallelism());
+  out += buf;
+  out += ",\"tracing_active\":";
+  out += Tracer::Default().active() ? "true" : "false";
+  out += ",\"gauges\":{";
+  const RegistrySnapshot snap = MetricRegistry::Default().Snapshot();
+  bool first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    std::snprintf(buf, sizeof(buf), "\":%lld",
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start(uint16_t port) {
+  if (running()) return Status::InvalidArgument("admin server already running");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("admin socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("admin bind 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("admin listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("admin getsockname: " + err);
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  start_ns_ = Tracer::NowNanos();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this]() { ServeLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::SetHealthCheck(HealthCheck check) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_ = std::move(check);
+}
+
+void AdminServer::ServeLoop() {
+  // Poll-gated accept: wake at least every 100 ms to notice Stop().
+  while (running()) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;  // timeout or EINTR; re-check running()
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) {
+  // Bounded blocking read of the request head. Clients are curl / scrape
+  // loops on loopback; a 2 s receive timeout defends against a stalled
+  // connection pinning the (single) serve thread.
+  timeval tv;
+  tv.tv_sec = 2;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string req;
+  char buf[2048];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = req.find_first_of("\r\n");
+  if (line_end == std::string::npos) return;  // no request line; drop
+
+  // "GET /path?query HTTP/1.1"
+  const std::string line = req.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  const Response resp = Handle(method, target);
+
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " ";
+  switch (resp.status) {
+    case 200:
+      head += "OK";
+      break;
+    case 404:
+      head += "Not Found";
+      break;
+    case 405:
+      head += "Method Not Allowed";
+      break;
+    case 503:
+      head += "Service Unavailable";
+      break;
+    default:
+      head += "Error";
+  }
+  head += "\r\nContent-Type: " + resp.content_type;
+  head += "\r\nContent-Length: " + std::to_string(resp.body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+
+  const std::string out = head + resp.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+AdminServer::Response AdminServer::Handle(const std::string& method,
+                                          const std::string& target) {
+  Metrics().requests->Increment();
+  Response resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+    return resp;
+  }
+  const size_t q = target.find('?');
+  const std::string path =
+      q == std::string::npos ? target : target.substr(0, q);
+
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = MetricRegistry::Default().ToPrometheusText();
+  } else if (path == "/metrics.json") {
+    resp.content_type = "application/json";
+    resp.body = MetricRegistry::Default().ToJson();
+  } else if (path == "/healthz") {
+    HealthCheck check;
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      check = health_;
+    }
+    const Status s = check ? check() : Status::OK();
+    if (s.ok()) {
+      resp.body = "ok\n";
+    } else {
+      resp.status = 503;
+      resp.body = s.ToString() + "\n";
+    }
+  } else if (path == "/statusz") {
+    resp.content_type = "application/json";
+    resp.body = StatuszJson(start_ns_);
+  } else if (path == "/queryz") {
+    resp.content_type = "application/json";
+    resp.body = SlowQueryLog::Default().ToJson();
+  } else if (path == "/tracez") {
+    uint64_t ms = QueryParam(target, "duration_ms", 200);
+    if (ms < 1) ms = 1;
+    if (ms > 10000) ms = 10000;
+    resp.content_type = "application/json";
+    resp.body = Tracer::Default().CaptureWindow(ms);
+  } else {
+    Metrics().not_found->Increment();
+    resp.status = 404;
+    resp.body = "unknown path; try /metrics /metrics.json /healthz "
+                "/statusz /queryz /tracez?duration_ms=N\n";
+  }
+  return resp;
+}
+
+AdminServer* AdminServer::MaybeStartFromEnv() {
+  const char* env = std::getenv("COCONUT_ADMIN_PORT");
+  if (env == nullptr || *env == '\0') return nullptr;
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(env, nullptr, 10));
+  AdminServer* server = new AdminServer();  // leaked: lives until exit
+  const Status s = server->Start(port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "[coconut] admin server failed to start: %s\n",
+                 s.ToString().c_str());
+    delete server;
+    return nullptr;
+  }
+  std::fprintf(stderr, "[coconut] admin server on http://127.0.0.1:%u\n",
+               static_cast<unsigned>(server->port()));
+  return server;
+}
+
+}  // namespace coconut

@@ -1,0 +1,104 @@
+// Embedded HTTP/1.1 admin endpoint: the network frontend for the obs
+// subsystem (ROADMAP "network frontend" item — the server only needs to
+// serve strings the obs layer already produces).
+//
+// One dedicated thread runs a blocking accept loop (poll-gated so Stop()
+// is prompt) and serves each connection to completion before accepting the
+// next. That is deliberate: every endpoint renders a snapshot string in
+// microseconds-to-milliseconds, the expected client is one curl or one
+// scrape loop, and a serial server cannot amplify load on the engine it is
+// observing. /tracez is the one slow endpoint (it sleeps for the capture
+// window) and simply occupies the server for that window.
+//
+// Endpoints (GET only; anything else is 405, unknown paths 404):
+//   /metrics                 Prometheus text exposition of the default
+//                            metric registry
+//   /metrics.json            the same snapshot as JSON
+//   /healthz                 "ok\n" with 200, or the failure string with
+//                            503 when the registered health check fails
+//   /statusz                 build/runtime facts: build type, compiler,
+//                            SIMD kernel backend, uptime, thread-pool
+//                            size, current gauge values
+//   /queryz                  slow-query log (recent + over-threshold
+//                            rings) as JSON
+//   /tracez?duration_ms=N    records a live trace window of N ms
+//                            (default 200, clamped to [1, 10000]) and
+//                            returns Chrome trace-event JSON — load the
+//                            response straight into Perfetto
+//
+// The server binds 127.0.0.1 only. It is an operator loopback port, not a
+// public surface: no TLS, no auth, no request bodies.
+#ifndef COCONUT_NET_ADMIN_SERVER_H_
+#define COCONUT_NET_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace coconut {
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  /// port()) and starts the serve thread. Fails if already running or the
+  /// bind/listen fails.
+  Status Start(uint16_t port);
+
+  /// Stops the serve thread and closes the listening socket. Idempotent.
+  /// An in-flight request (e.g. a /tracez window) is allowed to finish.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves the ephemeral port after Start(0)).
+  uint16_t port() const { return port_; }
+
+  /// Health probe backing /healthz: OK -> 200, non-OK -> 503 with the
+  /// status text in the body. Unset means always healthy. Typically wired
+  /// to ShardedStore::WriteHealth.
+  using HealthCheck = std::function<Status()>;
+  void SetHealthCheck(HealthCheck check);
+
+  /// One routed response; Handle() is the whole server minus the sockets,
+  /// exposed so tests can exercise routing without a port.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response Handle(const std::string& method, const std::string& target);
+
+  /// Starts a process-wide server when COCONUT_ADMIN_PORT is set (port 0
+  /// for ephemeral is honored; the chosen port is printed to stderr).
+  /// Returns the server (leaked, lives until process exit) or nullptr when
+  /// the env var is unset or the bind failed.
+  static AdminServer* MaybeStartFromEnv();
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t start_ns_ = 0;  // Tracer::NowNanos() at Start, for /statusz uptime
+  std::thread thread_;
+
+  mutable std::mutex health_mu_;
+  HealthCheck health_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_NET_ADMIN_SERVER_H_

@@ -1,0 +1,76 @@
+#include "src/obs/exit_hooks.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace coconut {
+
+namespace {
+
+struct DumpEntry {
+  void (*fn)();
+  bool ran;
+};
+
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<DumpEntry>& Dumps() {
+  static std::vector<DumpEntry>* dumps = new std::vector<DumpEntry>();
+  return *dumps;
+}
+
+void SignalDumpHandler(int sig) {
+  RunExitDumps();
+  // Restore the default disposition and re-raise, so the process still dies
+  // by signal (exit status, core behavior, shell job control all intact).
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallOnce() {
+  static bool installed = []() {
+    std::atexit(RunExitDumps);
+    // Only replace dispositions the process has not customized: a host
+    // application with its own SIGINT handling keeps it (and takes on the
+    // duty of calling RunExitDumps itself).
+    for (int sig : {SIGINT, SIGTERM}) {
+      auto prev = std::signal(sig, SignalDumpHandler);
+      if (prev != SIG_DFL && prev != SIG_ERR) std::signal(sig, prev);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
+
+void RegisterExitDump(void (*fn)()) {
+  std::lock_guard<std::mutex> lock(Mu());
+  InstallOnce();
+  Dumps().push_back(DumpEntry{fn, false});
+}
+
+void RunExitDumps() {
+  // Claim unrun entries under the lock, run them outside it: dumps may
+  // register metrics or allocate, and a signal arriving mid-exit must not
+  // self-deadlock on Mu().
+  std::vector<void (*)()> to_run;
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    auto& dumps = Dumps();
+    for (auto it = dumps.rbegin(); it != dumps.rend(); ++it) {
+      if (!it->ran) {
+        it->ran = true;
+        to_run.push_back(it->fn);
+      }
+    }
+  }
+  for (void (*fn)() : to_run) fn();
+}
+
+}  // namespace coconut

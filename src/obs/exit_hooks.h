@@ -1,0 +1,34 @@
+// Shared exit/signal dump machinery for the observability sinks.
+//
+// COCONUT_STATS / COCONUT_STATS_JSON / COCONUT_TRACE promise "a dump when
+// the process ends", but a bench or server killed with Ctrl-C never reaches
+// atexit handlers. RegisterExitDump gives both guarantees at once: the
+// callback runs via atexit on clean exit, and — because arming any of those
+// env toggles installs SIGINT/SIGTERM handlers (opt-in by construction:
+// only processes that asked for dumps get their signal disposition touched)
+// — it also runs when the process is interrupted, after which the signal is
+// re-raised with the default disposition so exit codes stay honest.
+//
+// The handlers do call non-async-signal-safe code (snapshotting the
+// registry, serializing JSON, fopen). That is a deliberate trade: these are
+// diagnostic dumps on the way out of a cooperating process, not
+// crash-safety machinery — a corrupt dump on a pathological interrupt
+// costs nothing, a missing dump on every Ctrl-C costs the whole feature.
+// Each callback runs at most once even if exit and a signal race.
+#ifndef COCONUT_OBS_EXIT_HOOKS_H_
+#define COCONUT_OBS_EXIT_HOOKS_H_
+
+namespace coconut {
+
+/// Registers `fn` to run once at process exit AND on SIGINT/SIGTERM (the
+/// first registration installs the signal handlers). Callbacks run in
+/// reverse registration order. Thread-safe; callable any time before exit.
+void RegisterExitDump(void (*fn)());
+
+/// Runs every registered dump that has not run yet (idempotent). Exposed
+/// for tests and for embedders that flush on their own shutdown path.
+void RunExitDumps();
+
+}  // namespace coconut
+
+#endif  // COCONUT_OBS_EXIT_HOOKS_H_

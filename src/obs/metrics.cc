@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/obs/exit_hooks.h"
+
 namespace coconut {
 
 namespace {
@@ -158,16 +160,35 @@ std::string RegistrySnapshot::ToPrometheusText() const {
   }
   for (const auto& [name, h] : histograms) {
     const std::string p = PrometheusName(name);
-    out << "# TYPE " << p << " summary\n";
+    // Real Prometheus/Grafana ingestion needs the cumulative bucket form:
+    // `_bucket{le="..."}` counts are monotone and end at `le="+Inf"` ==
+    // `_count`. Only non-empty buckets get a line (the cumulative counts
+    // stay correct; 496 mostly-zero lines per histogram would not), with
+    // `le` = the bucket's upper bound in the histogram's native unit (ns).
+    out << "# TYPE " << p << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out << p << "_bucket{le=\""
+          << (Histogram::BucketLowerBound(b + 1) - 1) << "\"} " << cumulative
+          << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << p << "_sum " << h.sum << "\n";
+    out << p << "_count " << h.count << "\n";
+    // Convenience series for humans and dashboards that do not want to run
+    // histogram_quantile(): the observed max and precomputed quantiles, as
+    // gauges under derived names (a metric may carry only one TYPE).
+    out << "# TYPE " << p << "_max gauge\n";
+    out << p << "_max " << h.max << "\n";
+    out << "# TYPE " << p << "_quantiles gauge\n";
     static constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
     for (double q : kQuantiles) {
       std::snprintf(buf, sizeof(buf), "%g", q);
-      out << p << "{quantile=\"" << buf << "\"} " << h.ValueAtQuantile(q)
-          << "\n";
+      out << p << "_quantiles{quantile=\"" << buf << "\"} "
+          << h.ValueAtQuantile(q) << "\n";
     }
-    out << p << "_sum " << h.sum << "\n";
-    out << p << "_count " << h.count << "\n";
-    out << p << "_max " << h.max << "\n";
   }
   return out.str();
 }
@@ -261,13 +282,17 @@ MetricRegistry& MetricRegistry::Default() {
   // destruction, and the atexit dumps below can safely read the registry.
   static MetricRegistry* registry = []() {
     auto* r = new MetricRegistry();
+    // RegisterExitDump (not bare atexit) so the dumps also fire when the
+    // process is interrupted: SIGINT/SIGTERM handlers are installed on the
+    // first registration — opt-in via these env toggles, a process that
+    // never arms them keeps its signal dispositions untouched.
     if (const char* env = std::getenv("COCONUT_STATS")) {
-      if (std::string(env) == "dump-at-exit") std::atexit(DumpAtExitText);
+      if (std::string(env) == "dump-at-exit") RegisterExitDump(DumpAtExitText);
     }
     if (const char* env = std::getenv("COCONUT_STATS_JSON")) {
       if (env[0] != '\0') {
         g_stats_json_path = new std::string(env);
-        std::atexit(DumpAtExitJson);
+        RegisterExitDump(DumpAtExitJson);
       }
     }
     return r;

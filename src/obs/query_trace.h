@@ -40,6 +40,12 @@ struct QueryTrace {
   /// store batches this is summed per-shard work time (cells run
   /// concurrently), not wall time.
   uint64_t total_ns = 0;
+  /// Thread-CPU time over the same region (CLOCK_THREAD_CPUTIME_ID from
+  /// dispatch): excludes time the executing thread spent descheduled, so
+  /// identical work reports identical cost no matter how oversubscribed
+  /// the pool is. Work a query fans out to *other* threads (nested
+  /// per-query parallelism) is not counted here — total_ns still is.
+  uint64_t cpu_ns = 0;
 
   void Clear() { *this = QueryTrace{}; }
 
@@ -55,6 +61,7 @@ struct QueryTrace {
     refine_ns += other.refine_ns;
     merge_ns += other.merge_ns;
     total_ns += other.total_ns;
+    cpu_ns += other.cpu_ns;
   }
 };
 

@@ -1,0 +1,129 @@
+#include "src/obs/slow_query_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/obs/trace.h"
+
+namespace coconut {
+
+namespace {
+
+/// Same per-thread stripe selection idiom as Counter::StripeIndex, so
+/// concurrent recorders land on distinct mutexes in steady state.
+size_t StripeIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % SlowQueryLog::kStripes;
+  return stripe;
+}
+
+void AppendEntryJson(std::string* out, const SlowQueryEntry& e) {
+  auto field = [out](const char* k, uint64_t v, bool comma = true) {
+    out->append("\"");
+    out->append(k);
+    out->append("\":");
+    out->append(std::to_string(v));
+    if (comma) out->append(",");
+  };
+  out->append("{");
+  field("seq", e.seq);
+  field("ts_ns", e.ts_ns);
+  out->append(e.exact ? "\"mode\":\"exact\"," : "\"mode\":\"approx\",");
+  field("total_ns", e.trace.total_ns);
+  field("cpu_ns", e.trace.cpu_ns);
+  field("route_ns", e.trace.route_ns);
+  field("approx_ns", e.trace.approx_ns);
+  field("refine_ns", e.trace.refine_ns);
+  field("merge_ns", e.trace.merge_ns);
+  field("leaves_visited", e.trace.leaves_visited);
+  field("records_fetched", e.trace.records_fetched);
+  field("pruned_mindist", e.trace.pruned_mindist);
+  field("memtable_scanned", e.trace.memtable_scanned, /*comma=*/false);
+  out->append("}");
+}
+
+void AppendEntriesJson(std::string* out,
+                       const std::vector<SlowQueryEntry>& entries) {
+  out->append("[");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out->append(",");
+    AppendEntryJson(out, entries[i]);
+  }
+  out->append("]");
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(uint64_t threshold_ns, size_t recent_per_stripe,
+                           size_t slow_per_stripe)
+    : threshold_ns_(threshold_ns) {
+  for (Stripe& s : stripes_) {
+    s.recent.slots.resize(std::max<size_t>(recent_per_stripe, 1));
+    s.slow.slots.resize(std::max<size_t>(slow_per_stripe, 1));
+  }
+}
+
+SlowQueryLog& SlowQueryLog::Default() {
+  static SlowQueryLog* log = []() {
+    uint64_t threshold_ms = 100;
+    if (const char* env = std::getenv("COCONUT_SLOW_QUERY_MS")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env) threshold_ms = v;
+    }
+    return new SlowQueryLog(threshold_ms * 1'000'000ull);
+  }();
+  return *log;
+}
+
+void SlowQueryLog::Record(const QueryTrace& trace, bool exact) {
+  SlowQueryEntry e;
+  e.trace = trace;
+  e.exact = exact;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.ts_ns = Tracer::NowNanos();
+  total_recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow = trace.total_ns >= threshold_ns();
+  Stripe& s = stripes_[StripeIndex()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.recent.Push(e);
+  if (slow) s.slow.Push(e);
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::SnapshotEntries(
+    bool slow_only) const {
+  std::vector<SlowQueryEntry> out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const Ring& ring = slow_only ? s.slow : s.recent;
+    const uint64_t n =
+        std::min<uint64_t>(ring.head, ring.slots.size());
+    for (uint64_t i = ring.head - n; i < ring.head; ++i) {
+      out.push_back(ring.slots[i % ring.slots.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              return a.seq > b.seq;  // newest first
+            });
+  return out;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  std::string out;
+  out.reserve(4096);
+  out.append("{\"threshold_ns\":");
+  out.append(std::to_string(threshold_ns()));
+  out.append(",\"total_recorded\":");
+  out.append(
+      std::to_string(total_recorded_.load(std::memory_order_relaxed)));
+  out.append(",\"slow\":");
+  AppendEntriesJson(&out, SnapshotEntries(/*slow_only=*/true));
+  out.append(",\"recent\":");
+  AppendEntriesJson(&out, SnapshotEntries(/*slow_only=*/false));
+  out.append("}");
+  return out;
+}
+
+}  // namespace coconut

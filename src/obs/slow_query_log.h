@@ -1,0 +1,101 @@
+// Retained per-query evidence: the last N QueryTraces plus every query that
+// crossed a latency threshold, queryable long after the queries finished
+// (the admin server's /queryz endpoint).
+//
+// Aggregate histograms (query.exact.latency_ns) tell you *that* p99 moved;
+// this log keeps the actual offending queries — their full stage breakdown
+// and work counters — so "what made it slow" is answerable without
+// reproducing the workload.
+//
+// Recording cost: one uncontended striped mutex and a ~100-byte struct copy
+// per query, paid once per query by the batch executor (never inside the
+// search loops). Stripes are selected by the same per-thread index the
+// Counter stripes use, so concurrent recording threads land on different
+// mutexes; reading (ToJson / SnapshotEntries) locks all stripes briefly.
+#ifndef COCONUT_OBS_SLOW_QUERY_LOG_H_
+#define COCONUT_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/query_trace.h"
+
+namespace coconut {
+
+/// One retained query: the trace plus enough context to order and date it.
+struct SlowQueryEntry {
+  QueryTrace trace;
+  bool exact = false;
+  /// Process-wide arrival order (monotone across stripes).
+  uint64_t seq = 0;
+  /// Completion time on the tracer clock (ns since process trace epoch).
+  uint64_t ts_ns = 0;
+};
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kStripes = 8;
+  static constexpr size_t kDefaultRecentPerStripe = 16;   // 128 total
+  static constexpr size_t kDefaultSlowPerStripe = 32;     // 256 total
+
+  /// Queries with total_ns >= threshold_ns enter the slow ring (as well as
+  /// the recent ring, which takes everything).
+  explicit SlowQueryLog(uint64_t threshold_ns,
+                        size_t recent_per_stripe = kDefaultRecentPerStripe,
+                        size_t slow_per_stripe = kDefaultSlowPerStripe);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// The process-wide log QueryEngine records into. Threshold comes from
+  /// COCONUT_SLOW_QUERY_MS (default 100 ms), latched on first use.
+  static SlowQueryLog& Default();
+
+  void Record(const QueryTrace& trace, bool exact);
+
+  uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+  /// Retunable at runtime (operators chase different tails on different
+  /// days); affects future Record calls only.
+  void set_threshold_ns(uint64_t v) {
+    threshold_ns_.store(v, std::memory_order_relaxed);
+  }
+
+  /// All retained entries, newest first. `slow_only` restricts to the
+  /// over-threshold ring.
+  std::vector<SlowQueryEntry> SnapshotEntries(bool slow_only) const;
+
+  /// /queryz payload: {"threshold_ns":..,"total_recorded":..,
+  /// "slow":[entry...],"recent":[entry...]} with per-entry stage
+  /// breakdowns. Entries are newest-first.
+  std::string ToJson() const;
+
+ private:
+  /// Fixed-capacity overwrite-oldest ring of entries.
+  struct Ring {
+    std::vector<SlowQueryEntry> slots;
+    uint64_t head = 0;  // total pushes; next slot is head % capacity
+    void Push(const SlowQueryEntry& e) {
+      slots[head % slots.size()] = e;
+      ++head;
+    }
+  };
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    Ring recent;
+    Ring slow;
+  };
+
+  std::atomic<uint64_t> threshold_ns_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint64_t> total_recorded_{0};
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_OBS_SLOW_QUERY_LOG_H_

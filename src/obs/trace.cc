@@ -1,0 +1,276 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "src/obs/exit_hooks.h"
+#include "src/obs/metrics.h"
+
+namespace coconut {
+
+namespace {
+
+/// Common clock epoch for every event; latched on first use so timestamps
+/// from different threads are comparable.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Appends `ns` nanoseconds as a microsecond decimal ("12.345"), the unit
+/// Chrome trace-event timestamps use. Avoids float formatting entirely.
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ring
+
+/// Single-producer flight-recorder ring. Every field is a relaxed atomic so
+/// a concurrent drain is data-race-free; `head` is the only release/acquire
+/// edge (publishes the slot written before it).
+struct Tracer::Ring {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> flow_id{0};
+    std::atomic<uint32_t> phase{0};
+  };
+
+  explicit Ring(size_t capacity, uint32_t tid_)
+      : mask(capacity - 1), tid(tid_), slots(capacity) {}
+
+  void Append(const char* name, const char* cat, char phase, uint64_t ts_ns,
+              uint64_t dur_ns, uint64_t flow_id) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& s = slots[h & mask];
+    s.name.store(name, std::memory_order_relaxed);
+    s.cat.store(cat, std::memory_order_relaxed);
+    s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.flow_id.store(flow_id, std::memory_order_relaxed);
+    s.phase.store(static_cast<uint32_t>(phase), std::memory_order_relaxed);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  const uint64_t mask;
+  const uint32_t tid;
+  std::thread::id owner;  // writing thread; set once under rings_mu_
+  std::atomic<uint64_t> head{0};
+  std::vector<Slot> slots;
+};
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+std::atomic<Tracer*> Tracer::default_instance_{nullptr};
+
+Tracer::Tracer(size_t ring_capacity)
+    : tracer_id_([]() {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()),
+      ring_capacity_(RoundUpPow2(std::max<size_t>(ring_capacity, 8))) {
+  TraceEpoch();  // pin the epoch no later than tracer construction
+}
+
+Tracer::~Tracer() = default;
+
+uint64_t Tracer::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+Tracer::Ring* Tracer::ThreadRing() {
+  // One ring per (thread, tracer). Rings are owned by the tracer's registry
+  // and never removed, so drains stay valid after the thread exits; the
+  // thread_local caches the lookup (keyed by tracer_id_, not address — see
+  // the field comment). The cache holds one tracer at a time: a thread
+  // alternating between tracers re-finds its ring in the registry scan
+  // below rather than registering duplicates.
+  thread_local struct Cache {
+    uint64_t tracer_id = 0;
+    Ring* ring = nullptr;
+  } cache;
+  if (cache.tracer_id == tracer_id_) return cache.ring;
+  const std::thread::id self = std::this_thread::get_id();
+  std::shared_ptr<Ring> ring;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& r : rings_) {
+      if (r->owner == self) {
+        ring = r;
+        break;
+      }
+    }
+    if (ring == nullptr) {
+      ring = std::make_shared<Ring>(
+          ring_capacity_, next_tid_.fetch_add(1, std::memory_order_relaxed));
+      ring->owner = self;
+      rings_.push_back(ring);
+    }
+  }
+  cache.tracer_id = tracer_id_;
+  cache.ring = ring.get();
+  return cache.ring;
+}
+
+void Tracer::RecordComplete(const char* name, const char* cat,
+                            uint64_t start_ns, uint64_t end_ns) {
+  static Counter* events =
+      MetricRegistry::Default().GetCounter("obs.trace.events");
+  events->Increment();
+  ThreadRing()->Append(name, cat, 'X', start_ns,
+                       end_ns > start_ns ? end_ns - start_ns : 0, 0);
+}
+
+void Tracer::RecordFlow(char phase, const char* name, uint64_t flow_id,
+                        uint64_t ts_ns) {
+  static Counter* events =
+      MetricRegistry::Default().GetCounter("obs.trace.events");
+  events->Increment();
+  ThreadRing()->Append(name, "flow", phase, ts_ns, 0, flow_id);
+}
+
+std::vector<TraceEvent> Tracer::DrainEvents(uint64_t since_ns) const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t cap = ring->mask + 1;
+    const uint64_t n = std::min(head, cap);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const Ring::Slot& s = ring->slots[i & ring->mask];
+      TraceEvent e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.cat = s.cat.load(std::memory_order_relaxed);
+      e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      e.flow_id = s.flow_id.load(std::memory_order_relaxed);
+      e.phase = static_cast<char>(s.phase.load(std::memory_order_relaxed));
+      e.tid = ring->tid;
+      // Torn-slot filter: a slot overwritten mid-drain can mix two events'
+      // fields; drop anything structurally impossible rather than emit it.
+      if (e.name == nullptr || e.ts_ns < since_ns) continue;
+      if (e.phase != 'X' && e.phase != 's' && e.phase != 'f') continue;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::string Tracer::ToJson(uint64_t since_ns) const {
+  const std::vector<TraceEvent> events = DrainEvents(since_ns);
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;  // span names are literals from our own call sites
+    out += "\",\"cat\":\"";
+    out += e.cat != nullptr ? e.cat : "";
+    out += "\",\"ph\":\"";
+    out.push_back(e.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    AppendMicros(&out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(&out, e.dur_ns);
+    } else {
+      // Flow events pair by id; 'f' binds to the enclosing slice ("bp":"e").
+      out += ",\"id\":";
+      out += std::to_string(e.flow_id);
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::CaptureWindow(uint64_t duration_ms) {
+  const bool was_active = active();
+  const uint64_t window_start = NowNanos();
+  if (!was_active) Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  if (!was_active) Stop();
+  // Spans still open when the window closed record after Stop()'s relaxed
+  // store becomes visible; they are simply absent from this drain.
+  return ToJson(window_start);
+}
+
+namespace {
+
+std::string* g_trace_path = nullptr;
+
+void DumpTraceToPath() {
+  Tracer& tracer = Tracer::Default();
+  tracer.Stop();
+  std::FILE* f = std::fopen(g_trace_path->c_str(), "w");
+  if (f == nullptr) return;
+  const std::string json = tracer.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+Tracer& Tracer::Default() {
+  // Leaked singleton, same lifetime rules as MetricRegistry::Default():
+  // rings stay drainable through static destruction and the exit dumps.
+  static Tracer* tracer = []() {
+    size_t capacity = kDefaultRingCapacity;
+    if (const char* env = std::getenv("COCONUT_TRACE_RING")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v > 0) capacity = static_cast<size_t>(v);
+    }
+    auto* t = new Tracer(capacity);
+    default_instance_.store(t, std::memory_order_release);
+    if (const char* env = std::getenv("COCONUT_TRACE")) {
+      if (env[0] != '\0') {
+        g_trace_path = new std::string(env);
+        t->Start();
+        RegisterExitDump(DumpTraceToPath);
+      }
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+}  // namespace coconut

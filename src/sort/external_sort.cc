@@ -11,6 +11,7 @@
 #include "src/exec/thread_pool.h"
 #include "src/io/io_stats.h"
 #include "src/obs/stage_timer.h"
+#include "src/obs/trace.h"
 #include "src/sort/loser_tree.h"
 #include "src/sort/record_sort.h"
 
@@ -390,6 +391,7 @@ Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
   // so establish the I/O attribution scope here, not in the caller.
   IoComponentScope io_scope("sort");
 
+  TraceStages sort_spans;
   Stopwatch sort_watch;
   RecordSortSpec spec;
   spec.base = records.data();
@@ -401,8 +403,10 @@ Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
   std::vector<uint32_t> order;
   StableSortRecords(spec, &order);
   run_gen_ns->Record(sort_watch.ElapsedNanos());
+  sort_spans.Mark("sort.run_gen", "sort");
 
   ScopedTimer write_timer(spill_write_ns);
+  TraceSpan spill_span("sort.spill_write", "sort");
   BufferedWriter writer;
   if (pool_ != nullptr) writer.EnableAsyncFlush(pool_);
   COCONUT_RETURN_IF_ERROR(writer.Open(path));
@@ -422,6 +426,7 @@ Status ExternalSorter::MergeGroup(const std::vector<std::string>& inputs,
   static Histogram* merge_ns =
       MetricRegistry::Default().GetHistogram("sort.merge_ns");
   ScopedTimer merge_timer(merge_ns);
+  TraceSpan merge_span("sort.merge", "sort");
   IoComponentScope io_scope("sort");
   std::vector<std::unique_ptr<FileStream>> streams;
   streams.reserve(inputs.size());
@@ -445,6 +450,7 @@ Status ExternalSorter::PartitionedFinalMerge(
   static Histogram* merge_ns =
       MetricRegistry::Default().GetHistogram("sort.merge_ns");
   ScopedTimer merge_timer(merge_ns);
+  TraceSpan merge_span("sort.final_merge", "sort");
   IoComponentScope io_scope("sort");
   const size_t record_bytes = options_.record_bytes;
   const size_t key_bytes = options_.key_bytes;

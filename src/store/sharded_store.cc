@@ -8,6 +8,7 @@
 #include "src/core/knn.h"
 #include "src/io/io_stats.h"
 #include "src/obs/stage_timer.h"
+#include "src/obs/trace.h"
 #include "src/summary/invsax.h"
 
 namespace coconut {
@@ -239,6 +240,11 @@ Status ShardedStore::Poison(const Status& cause) {
   return cause;
 }
 
+Status ShardedStore::WriteHealth() const {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  return poison_;
+}
+
 Status ShardedStore::Insert(const Series& series) {
   if (series.size() != options_.forest.tree.summary.series_length) {
     return Status::InvalidArgument("series length mismatch");
@@ -301,6 +307,8 @@ Status ShardedStore::CommitCrossShardLocked(
   static Counter* epochs =
       MetricRegistry::Default().GetCounter("store.commit.epochs");
   ScopedTimer epoch_timer(epoch_ns);
+  TraceSpan epoch_span("store.commit.epoch", "store");
+  TraceStages commit_spans;
 
   std::vector<size_t> touched;
   for (size_t i = 0; i < buckets.size(); ++i) {
@@ -332,6 +340,7 @@ Status ShardedStore::CommitCrossShardLocked(
     // ("io.commit.*"); the epoch journal's own records are counted
     // separately in src/store/journal.cc.
     IoComponentScope io_scope("commit");
+    TraceSpan stage_span("store.shard_stage", "store");
     COCONUT_RETURN_IF_ERROR(Fault(CommitPoint::kShardStage, i));
     return shards_[i]->StageBatch(buckets[i], &staged[i]);
   };
@@ -346,6 +355,7 @@ Status ShardedStore::CommitCrossShardLocked(
     stage_status[touched[t]] = pending[t - 1].get();
   }
   stage_ns->Record(stage_watch.ElapsedNanos());
+  commit_spans.Mark("store.commit.stage", "store");
   std::string failed;
   for (size_t i : touched) {
     if (stage_status[i].ok()) continue;
@@ -379,6 +389,7 @@ Status ShardedStore::CommitCrossShardLocked(
   //    kAfterJournalCommit crash shape.
   {
     ScopedTimer publish_timer(publish_ns);
+    TraceSpan publish_span("store.commit.publish", "store");
     std::unique_lock<std::shared_mutex> visibility_lock(visibility_mu_);
     for (size_t i : touched) {
       if (!shards_[i]->StagedFits(staged[i])) {
@@ -458,6 +469,7 @@ Status ShardedStore::Flush() {
   static Histogram* flush_ns =
       MetricRegistry::Default().GetHistogram("store.flush_ns");
   ScopedTimer flush_timer(flush_ns);
+  TraceSpan flush_span("store.flush", "store");
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   COCONUT_RETURN_IF_ERROR(poison_);
   COCONUT_RETURN_IF_ERROR(

@@ -197,6 +197,12 @@ class ShardedStore {
   /// Shard id owning `series` (summarize, then route).
   size_t ShardForSeries(const Series& series) const;
 
+  /// Write-path health: OK while the store accepts writes, or the poison
+  /// status after a torn cross-shard commit (every write is refused until
+  /// the store is reopened). The admin server's /healthz maps a non-OK
+  /// result to HTTP 503.
+  Status WriteHealth() const;
+
   size_t num_shards() const { return shards_.size(); }
   /// Total entries across shards (direct per-shard sums under the
   /// visibility lock — no store snapshot is materialized).
@@ -249,7 +255,7 @@ class ShardedStore {
   // order (the group-commit discipline — batching concurrent writers into
   // one epoch is the named follow-on). The manifest is also re-committed
   // under this lock.
-  std::mutex commit_mu_;
+  mutable std::mutex commit_mu_;
   // Next epoch to assign (under commit_mu_); always above every epoch ever
   // journaled, even across reopens.
   uint64_t next_epoch_ = 1;

@@ -1,0 +1,271 @@
+// Embedded HTTP admin endpoint (src/net/): request routing, Prometheus
+// exposition parseability, health-check 503 flips on a genuinely poisoned
+// store, live /tracez windows, and serving under concurrent QueryEngine
+// load (a ThreadSanitizer target, see .github/workflows/ci.yml).
+#include "src/net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/coconut_forest.h"
+#include "src/exec/query_engine.h"
+#include "src/exec/thread_pool.h"
+#include "src/series/generator.h"
+#include "src/store/sharded_store.h"
+#include "tests/test_util.h"
+
+namespace coconut {
+namespace {
+
+using testing::ScratchDir;
+
+constexpr size_t kSeriesLen = 64;
+
+/// Minimal blocking HTTP/1.1 client: one GET (or arbitrary-method) request
+/// to 127.0.0.1:`port`, returns the status code and fills `body`.
+int HttpRequest(uint16_t port, const std::string& method,
+                const std::string& target, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const std::string req = method + " " + target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (resp.compare(0, 9, "HTTP/1.1 ") != 0) return -1;
+  const int status = std::atoi(resp.c_str() + 9);
+  const size_t sep = resp.find("\r\n\r\n");
+  if (body != nullptr) {
+    *body = sep == std::string::npos ? "" : resp.substr(sep + 4);
+  }
+  return status;
+}
+
+int HttpGet(uint16_t port, const std::string& target, std::string* body) {
+  return HttpRequest(port, "GET", target, body);
+}
+
+std::vector<Series> MakeSeries(size_t count, uint64_t seed) {
+  auto gen = MakeGenerator(DatasetKind::kRandomWalk, kSeriesLen, seed);
+  std::vector<Series> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(gen->NextSeries());
+  return out;
+}
+
+TEST(AdminServer, BindsEphemeralPortAndStops) {
+  AdminServer server;
+  ASSERT_OK(server.Start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(AdminServer, RejectsDoubleStart) {
+  AdminServer server;
+  ASSERT_OK(server.Start(0));
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+}
+
+TEST(AdminServer, ServesAllEndpointsUnderConcurrentQueryLoad) {
+  ScratchDir dir;
+  ForestOptions opts;
+  opts.tree.summary.series_length = kSeriesLen;
+  opts.tree.summary.segments = 16;
+  opts.tree.leaf_capacity = 64;
+  opts.tree.tmp_dir = dir.path();
+  opts.memtable_series = 100;
+  opts.max_runs = 4;
+
+  std::vector<Series> data;
+  testing::MakeDatasetFile(dir.File("data.bin"), DatasetKind::kRandomWalk,
+                           400, kSeriesLen, 7)
+      .swap(data);
+  std::unique_ptr<CoconutForest> forest;
+  ASSERT_OK(CoconutForest::Open(dir.File("data.bin"), dir.File("forest"),
+                                opts, &forest));
+
+  AdminServer server;
+  ASSERT_OK(server.Start(0));
+  const uint16_t port = server.port();
+
+  // One synchronous batch before the scrapes: registers the query.* metric
+  // families the /metrics assertions look for (families appear in the
+  // registry on first use).
+  {
+    ThreadPool warm(1);
+    QueryEngine engine(&warm);
+    std::vector<SearchResult> results;
+    QuerySpec spec;
+    spec.mode = QuerySpec::Mode::kExact;
+    spec.k = 1;
+    ASSERT_OK(engine.ExecuteBatch(*forest, MakeSeries(2, 98), spec, &results));
+  }
+
+  // Background query pressure for the whole scrape sequence: the server
+  // renders registry/trace snapshots while these threads record into them.
+  std::atomic<bool> stop{false};
+  std::thread load([&forest, &stop]() {
+    ThreadPool pool(4);
+    QueryEngine engine(&pool);
+    const std::vector<Series> queries = MakeSeries(8, 99);
+    QuerySpec spec;
+    spec.mode = QuerySpec::Mode::kExact;
+    spec.k = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<SearchResult> results;
+      const Status st = engine.ExecuteBatch(*forest, queries, spec, &results);
+      if (!st.ok()) {
+        ADD_FAILURE() << st.ToString();
+        break;
+      }
+    }
+  });
+
+  std::string body;
+  // /metrics: Prometheus text; every non-comment line is "<name> <value>".
+  EXPECT_EQ(HttpGet(port, "/metrics", &body), 200);
+  EXPECT_NE(body.find("# TYPE "), std::string::npos);
+  EXPECT_NE(body.find("coconut_query_count"), std::string::npos);
+  size_t parsed_lines = 0;
+  std::istringstream lines(body);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    ASSERT_GT(sp, 0u) << line;
+    // The value is a plain non-negative number (counters/buckets) or a
+    // float rendered by ToPrometheusText.
+    const std::string value = line.substr(sp + 1);
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+    ++parsed_lines;
+  }
+  EXPECT_GT(parsed_lines, 10u);
+
+  EXPECT_EQ(HttpGet(port, "/metrics.json", &body), 200);
+  EXPECT_EQ(body[0], '{');
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  EXPECT_EQ(body, "ok\n");
+
+  EXPECT_EQ(HttpGet(port, "/statusz", &body), 200);
+  EXPECT_NE(body.find("\"simd_kernel\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_s\""), std::string::npos);
+  EXPECT_NE(body.find("\"gauges\""), std::string::npos);
+
+  EXPECT_EQ(HttpGet(port, "/queryz", &body), 200);
+  EXPECT_NE(body.find("\"recent\""), std::string::npos);
+  EXPECT_NE(body.find("\"threshold_ns\""), std::string::npos);
+
+  // /tracez records a live window while the load thread is querying, so
+  // the JSON must contain real spans from the query path.
+  EXPECT_EQ(HttpGet(port, "/tracez?duration_ms=150", &body), 200);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("query.exact"), std::string::npos);
+
+  EXPECT_EQ(HttpGet(port, "/nope", &body), 404);
+  EXPECT_EQ(HttpRequest(port, "POST", "/metrics", &body), 405);
+
+  stop.store(true);
+  load.join();
+  server.Stop();
+}
+
+TEST(AdminServer, HealthzFlipsTo503WhenStorePoisoned) {
+  ScratchDir dir;
+  StoreOptions opts;
+  opts.forest.tree.summary.series_length = kSeriesLen;
+  opts.forest.tree.summary.segments = 16;
+  opts.forest.tree.leaf_capacity = 64;
+  opts.forest.tree.tmp_dir = dir.path();
+  opts.forest.memtable_series = 100;
+  opts.forest.max_runs = 3;
+  opts.num_shards = 2;
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  opts.commit_fault_hook = [armed](CommitPoint point, size_t) {
+    if (!armed->load() || point != CommitPoint::kAfterJournalBegin) {
+      return Status::OK();
+    }
+    return Status::IOError("injected fault");
+  };
+
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(dir.File("store"), opts, &store));
+
+  AdminServer server;
+  server.SetHealthCheck([&store]() { return store->WriteHealth(); });
+  ASSERT_OK(server.Start(0));
+  const uint16_t port = server.port();
+
+  std::string body;
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  EXPECT_EQ(body, "ok\n");
+
+  // A multi-shard batch takes the journaled commit path, hits the armed
+  // kill point, and poisons the store.
+  std::vector<Series> batch = MakeSeries(120, 11);
+  std::map<size_t, size_t> owners;
+  for (const Series& s : batch) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u) << "batch routed to a single shard";
+  armed->store(true);
+  EXPECT_FALSE(store->InsertBatch(batch).ok());
+
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 503);
+  EXPECT_NE(body.find("read-only"), std::string::npos) << body;
+  server.Stop();
+}
+
+TEST(AdminServer, HandleRoutesWithoutSockets) {
+  AdminServer server;  // not started: Handle() needs no port
+  const AdminServer::Response metrics = server.Handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  const AdminServer::Response tracez =
+      server.Handle("GET", "/tracez?duration_ms=1");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(server.Handle("GET", "/missing").status, 404);
+  EXPECT_EQ(server.Handle("DELETE", "/metrics").status, 405);
+}
+
+}  // namespace
+}  // namespace coconut

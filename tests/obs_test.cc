@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -196,6 +197,67 @@ TEST(MetricRegistry, SnapshotMergeAndExposition) {
   EXPECT_NE(prom.find("coconut_test_lat_ns"), std::string::npos) << prom;
   const std::string json = snap.ToJson();
   EXPECT_NE(json.find("\"test.ops\""), std::string::npos) << json;
+}
+
+TEST(MetricRegistry, PrometheusExpositionGoldenFormat) {
+  // Exact-string golden for the full exposition of one counter, one gauge,
+  // and one histogram. Guards the cumulative-histogram contract scrapers
+  // depend on: `_bucket{le="..."}` counts are monotone cumulative, the
+  // `le="+Inf"` bucket equals `_count`, `le` bounds are the histogram's
+  // native-unit bucket upper bounds, and quantiles/max live under derived
+  // gauge names (one TYPE per metric name).
+  MetricRegistry reg;
+  reg.GetCounter("golden.ops")->Add(42);
+  reg.GetGauge("golden.depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("golden.lat_ns");
+  h->Record(2);  // values 0..7 land in exact unit-wide buckets
+  h->Record(2);
+  h->Record(5);
+
+  const std::string expected =
+      "# TYPE coconut_golden_ops counter\n"
+      "coconut_golden_ops 42\n"
+      "# TYPE coconut_golden_depth gauge\n"
+      "coconut_golden_depth -3\n"
+      "# TYPE coconut_golden_lat_ns histogram\n"
+      "coconut_golden_lat_ns_bucket{le=\"2\"} 2\n"
+      "coconut_golden_lat_ns_bucket{le=\"5\"} 3\n"
+      "coconut_golden_lat_ns_bucket{le=\"+Inf\"} 3\n"
+      "coconut_golden_lat_ns_sum 9\n"
+      "coconut_golden_lat_ns_count 3\n"
+      "# TYPE coconut_golden_lat_ns_max gauge\n"
+      "coconut_golden_lat_ns_max 5\n"
+      "# TYPE coconut_golden_lat_ns_quantiles gauge\n"
+      "coconut_golden_lat_ns_quantiles{quantile=\"0.5\"} 2\n"
+      "coconut_golden_lat_ns_quantiles{quantile=\"0.95\"} 2\n"
+      "coconut_golden_lat_ns_quantiles{quantile=\"0.99\"} 2\n";
+  EXPECT_EQ(reg.Snapshot().ToPrometheusText(), expected);
+}
+
+TEST(MetricRegistry, PrometheusBucketsStayCumulativeAcrossOctaves) {
+  // Property check on wide-range samples: every emitted _bucket count is
+  // monotone nondecreasing and the series ends exactly at _count.
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("wide.lat_ns");
+  for (uint64_t v : {3u, 900u, 1000u, 65536u, 1u << 30}) h->Record(v);
+  const std::string prom = reg.Snapshot().ToPrometheusText();
+
+  std::istringstream lines(prom);
+  uint64_t prev = 0, last = 0, inf = 0;
+  size_t bucket_lines = 0;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("coconut_wide_lat_ns_bucket{", 0) != 0) continue;
+    ++bucket_lines;
+    const uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+    last = v;
+    if (line.find("le=\"+Inf\"") != std::string::npos) inf = v;
+  }
+  EXPECT_EQ(bucket_lines, 6u);  // 5 distinct buckets + the +Inf bucket
+  EXPECT_EQ(inf, 5u);
+  EXPECT_EQ(last, inf);  // +Inf is last and equals _count
+  EXPECT_NE(prom.find("coconut_wide_lat_ns_count 5"), std::string::npos);
 }
 
 // --- Timers ---
