@@ -1,0 +1,247 @@
+// Annotated synchronization primitives: the ONLY lock types the engine
+// uses (tools/lint.py enforces this; see docs/CONCURRENCY.md for the full
+// lock catalogue and ordering).
+//
+// Every wrapper carries Clang Thread Safety Analysis attributes, so the
+// locking invariants that used to live in comments — "guarded by
+// state_mu_", "requires commit_mu_ held", "never runs under the
+// visibility lock" — are compiler-checked interfaces on every clang build
+// (`-Wthread-safety`, turned into errors by the static-analysis CI job).
+// On GCC (and any compiler without the capability attributes) the macros
+// expand to nothing and the wrappers compile down to the underlying std
+// types with zero overhead.
+//
+// Usage:
+//
+//   class Account {
+//     Mutex mu_;
+//     int64_t balance_ GUARDED_BY(mu_);
+//     void DepositLocked(int64_t v) REQUIRES(mu_);  // caller holds mu_
+//    public:
+//     void Deposit(int64_t v) {
+//       MutexLock lock(&mu_);
+//       balance_ += v;          // OK: mu_ is held
+//     }
+//   };
+//
+// Condition variables pair with Mutex through CondVar::Wait(mu), which the
+// analysis treats as "requires mu held" (the temporary release inside the
+// wait is invisible to the analysis, matching how every annotated C++
+// codebase models condition waits). Predicate loops are written in the
+// caller — `while (!pred) cv.Wait(mu);` — so the guarded reads in the
+// predicate are analyzed in a scope that provably holds the lock.
+#ifndef COCONUT_COMMON_SYNC_H_
+#define COCONUT_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros (no-ops elsewhere).
+// Names follow the canonical set from the LLVM documentation so the
+// annotations read the same here as in any other annotated codebase.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define COCONUT_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef COCONUT_THREAD_ANNOTATION_
+#define COCONUT_THREAD_ANNOTATION_(x)  // not clang: annotations vanish
+#endif
+
+#define CAPABILITY(x) COCONUT_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY COCONUT_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) COCONUT_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) COCONUT_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  COCONUT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  COCONUT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  COCONUT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  COCONUT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  COCONUT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  COCONUT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  COCONUT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  COCONUT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  COCONUT_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  COCONUT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) COCONUT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) COCONUT_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  COCONUT_THREAD_ANNOTATION_(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) COCONUT_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COCONUT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace coconut {
+
+// ---------------------------------------------------------------------------
+// Mutex / SharedMutex
+
+/// Plain mutual-exclusion lock (std::mutex with capability annotations).
+/// Prefer the RAII MutexLock over calling Lock/Unlock directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (and under clang, teaches the analysis) that the current
+  /// thread holds this mutex, in code paths the analysis cannot follow.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer lock (std::shared_mutex with capability annotations).
+/// Exclusive side via WriterLock, shared side via ReaderLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// RAII lock holders
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
+/// Supports manual Unlock()/Lock() for the condition-wait / "drop the lock
+/// around heavy work" patterns; the destructor releases iff still held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// Scoped exclusive lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// ---------------------------------------------------------------------------
+// CondVar
+
+/// Condition variable paired with Mutex. Waits are annotated REQUIRES(mu):
+/// the caller must hold the mutex (typically through a MutexLock whose
+/// scope encloses the wait loop). Write predicate loops in the caller —
+///
+///   MutexLock lock(&mu_);
+///   while (!done_) cv_.Wait(mu_);
+///
+/// so the guarded predicate reads are analyzed under the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously woken),
+  /// and re-acquires `mu` before returning.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Wait with a deadline; returns std::cv_status::timeout when the
+  /// deadline passed before a notification.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    adopted.release();
+    return status;
+  }
+
+  /// Wait with a timeout, relative form of WaitUntil.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_SYNC_H_

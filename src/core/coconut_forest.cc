@@ -165,6 +165,10 @@ Status CoconutForest::Open(const std::string& raw_path,
                            std::unique_ptr<CoconutForest>* out) {
   COCONUT_RETURN_IF_ERROR(options.Validate());
   std::unique_ptr<CoconutForest> forest(new CoconutForest());
+  // Not shared with any other thread yet, but the guarded members still
+  // demand their locks; both are uncontended here.
+  MutexLock writer_lock(&forest->writer_mu_);
+  WriterLock state_lock(&forest->state_mu_);
   forest->options_ = options;
   forest->raw_path_ = raw_path;
   forest->dir_ = dir;
@@ -202,7 +206,7 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
       return Status::InvalidArgument("series length mismatch");
     }
   }
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
   // The whole batch is on disk now; advance raw_bytes_ up front so it can
   // never desync from the file even if a flush below fails mid-batch (the
@@ -210,7 +214,7 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
   uint64_t offset = raw_bytes_;
   raw_bytes_ += batch.size() * n * sizeof(Value);
   for (const Series& s : batch) {
-    if (memtable_count_ >= options_.memtable_series) {
+    if (MemtableCountWriterLocked() >= options_.memtable_series) {
       // Reachable when an earlier flush failed, or when a staged publish
       // filled the memtable exactly to capacity: the flush must succeed
       // before another push_back, or the vector would reallocate under
@@ -226,11 +230,11 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
       ++memtable_count_;
     }
     offset += n * sizeof(Value);
-    if (memtable_count_ >= options_.memtable_series) {
+    if (MemtableCountWriterLocked() >= options_.memtable_series) {
       COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
     }
   }
-  if (runs_.size() > options_.max_runs) {
+  if (NumRunsWriterLocked() > options_.max_runs) {
     COCONUT_RETURN_IF_ERROR(CompactWriterLocked());
   }
   return Status::OK();
@@ -245,7 +249,7 @@ Status CoconutForest::StageBatch(const std::vector<Series>& batch,
     }
   }
   if (batch.empty()) return Status::InvalidArgument("empty staged batch");
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   out->pre_raw_bytes = raw_bytes_;
   out->raw_bytes = batch.size() * n * sizeof(Value);
   COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
@@ -276,7 +280,7 @@ Status CoconutForest::StageBatch(const std::vector<Series>& batch,
     out->run = std::move(run);
     return Status::OK();
   }
-  if (memtable_count_ + batch.size() > options_.memtable_series) {
+  if (MemtableCountWriterLocked() + batch.size() > options_.memtable_series) {
     // Make room now so PublishStaged never has to flush.
     COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
   }
@@ -290,14 +294,16 @@ Status CoconutForest::StageBatch(const std::vector<Series>& batch,
 
 bool CoconutForest::StagedFits(const StagedBatch& staged) const {
   if (staged.run != nullptr) return true;  // run install is always O(1)
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  return memtable_count_ + staged.entries.size() <= options_.memtable_series;
+  MutexLock writer_lock(&writer_mu_);
+  return MemtableCountWriterLocked() + staged.entries.size() <=
+         options_.memtable_series;
 }
 
 Status CoconutForest::PublishStaged(StagedBatch&& staged) {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   if (staged.run == nullptr &&
-      memtable_count_ + staged.entries.size() > options_.memtable_series) {
+      MemtableCountWriterLocked() + staged.entries.size() >
+          options_.memtable_series) {
     // Impossible under the store's commit lock (StageBatch made room, no
     // writer ran in between, and the store re-checked StagedFits);
     // publishing anyway would reallocate the memtable under lock-free
@@ -317,8 +323,8 @@ Status CoconutForest::PublishStaged(StagedBatch&& staged) {
 }
 
 Status CoconutForest::CompactIfNeeded() {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
-  if (runs_.size() > options_.max_runs) {
+  MutexLock writer_lock(&writer_mu_);
+  if (NumRunsWriterLocked() > options_.max_runs) {
     return CompactWriterLocked();
   }
   return Status::OK();
@@ -343,12 +349,12 @@ Status CoconutForest::TruncateRawForRecovery(const std::string& raw_path,
 }
 
 uint64_t CoconutForest::raw_size() const {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   return raw_bytes_;
 }
 
 Status CoconutForest::Flush() {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   return FlushWriterLocked();
 }
 
@@ -359,7 +365,13 @@ Status CoconutForest::FlushWriterLocked() {
   // can be built without holding state_mu_. The run is published and the
   // memtable retired in one atomic swap at the end, so a snapshot sees the
   // flushed entries exactly once (either in the memtable or in the run).
-  const size_t count = memtable_count_;
+  size_t count = 0;
+  std::shared_ptr<std::vector<MemEntry>> mem;
+  {
+    ReaderLock state_lock(&state_mu_);
+    count = memtable_count_;
+    mem = memtable_;
+  }
   if (count == 0) return Status::OK();
   static Histogram* flush_ns =
       MetricRegistry::Default().GetHistogram("forest.flush_ns");
@@ -368,7 +380,6 @@ Status CoconutForest::FlushWriterLocked() {
   ScopedTimer flush_timer(flush_ns);
   TraceSpan flush_span("forest.flush", "forest");
   flush_entries->Add(count);
-  const std::shared_ptr<std::vector<MemEntry>> mem = memtable_;
   std::vector<uint8_t> sorted =
       EncodeSortedRecords(*mem, count, options_.tree);
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
@@ -392,7 +403,7 @@ Status CoconutForest::FlushWriterLocked() {
 }
 
 Status CoconutForest::CompactAll() {
-  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  MutexLock writer_lock(&writer_mu_);
   return CompactWriterLocked();
 }
 
@@ -404,9 +415,9 @@ Status CoconutForest::MergeRunsParallel(
   const size_t entry_bytes = LeafEntryBytes(options_.tree);
   ThreadPool* pool = ThreadPool::Shared();
   Status first_error;
-  std::mutex error_mu;
+  Mutex error_mu;
   auto record_error = [&](const Status& st) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&error_mu);
     if (first_error.ok()) first_error = st;
   };
 
@@ -517,9 +528,14 @@ Status CoconutForest::MergeRunsParallel(
 
 Status CoconutForest::CompactWriterLocked() {
   COCONUT_RETURN_IF_ERROR(FlushWriterLocked());
-  // The writer is the only mutator of runs_, so reading it without state_mu_
-  // is safe here; the merge below runs on immutable trees outside any lock.
-  const std::vector<std::shared_ptr<const CoconutTree>> inputs = runs_;
+  // The writer lock excludes every mutator of runs_; the copy still takes a
+  // brief shared acquisition, and the merge below then runs on immutable
+  // trees outside any lock.
+  std::vector<std::shared_ptr<const CoconutTree>> inputs;
+  {
+    ReaderLock state_lock(&state_mu_);
+    inputs = runs_;
+  }
   if (inputs.size() <= 1) return Status::OK();
   static Histogram* compaction_ns =
       MetricRegistry::Default().GetHistogram("forest.compaction_ns");
@@ -568,7 +584,7 @@ Status CoconutForest::CompactWriterLocked() {
 }
 
 CoconutForest::Snapshot CoconutForest::GetSnapshot() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderLock state_lock(&state_mu_);
   Snapshot snap;
   snap.memtable = memtable_;
   snap.memtable_count = memtable_count_;
@@ -577,14 +593,14 @@ CoconutForest::Snapshot CoconutForest::GetSnapshot() const {
 }
 
 size_t CoconutForest::num_runs() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderLock state_lock(&state_mu_);
   return runs_.size();
 }
 
 uint64_t CoconutForest::num_entries() const { return GetSnapshot().num_entries(); }
 
 uint64_t CoconutForest::memtable_size() const {
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderLock state_lock(&state_mu_);
   return memtable_count_;
 }
 

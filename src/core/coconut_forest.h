@@ -38,12 +38,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/core/coconut_options.h"
 #include "src/core/coconut_tree.h"
 #include "src/series/series.h"
@@ -191,33 +190,56 @@ class CoconutForest {
  private:
   CoconutForest() = default;
 
-  /// Flushes the memtable; requires writer_mu_ held.
-  Status FlushWriterLocked();
-  /// Full compaction; requires writer_mu_ held. The heavy runs-merge is
-  /// chunked over the shared ThreadPool and asserts it never executes while
-  /// this thread holds the reader-visible state lock.
-  Status CompactWriterLocked();
+  /// Flushes the memtable (the builds happen outside state_mu_; only the
+  /// final run/memtable swap takes it exclusively).
+  Status FlushWriterLocked() REQUIRES(writer_mu_);
+  /// Full compaction. The heavy runs-merge is chunked over the shared
+  /// ThreadPool and asserts it never executes while this thread holds the
+  /// reader-visible state lock.
+  Status CompactWriterLocked() REQUIRES(writer_mu_);
   /// Parallel k-way merge of the (sorted) leaf entries of `inputs` into one
-  /// contiguous sorted record buffer; requires writer_mu_ held, state_mu_
-  /// NOT held.
+  /// contiguous sorted record buffer. Must not run under state_mu_ —
+  /// readers must never wait on a merge.
   Status MergeRunsParallel(
       const std::vector<std::shared_ptr<const CoconutTree>>& inputs,
-      std::vector<uint8_t>* out) const;
+      std::vector<uint8_t>* out) const REQUIRES(writer_mu_)
+      EXCLUDES(state_mu_);
   std::string RunPath(uint64_t id) const;
+
+  /// Writer-path reads of reader-guarded state. writer_mu_ already excludes
+  /// every mutator (all mutation happens with both locks held), but the
+  /// reads still take a brief shared acquisition of state_mu_ so the
+  /// guarded-by contract stays honest. Lock order writer_mu_ -> state_mu_,
+  /// same as the write path.
+  size_t MemtableCountWriterLocked() const REQUIRES(writer_mu_) {
+    ReaderLock lock(&state_mu_);
+    return memtable_count_;
+  }
+  size_t NumRunsWriterLocked() const REQUIRES(writer_mu_) {
+    ReaderLock lock(&state_mu_);
+    return runs_.size();
+  }
 
   /// RAII exclusive lock on state_mu_ that also maintains the debug flag
   /// the heavy-work assertions check (writers are serialized by writer_mu_,
   /// so a set flag always means *this* thread holds the lock).
-  struct StateWriteLock {
-    explicit StateWriteLock(const CoconutForest* f)
-        : forest(f), lock(f->state_mu_) {
+  class SCOPED_CAPABILITY StateWriteLock {
+   public:
+    explicit StateWriteLock(const CoconutForest* f) ACQUIRE(f->state_mu_)
+        : forest_(f) {
+      f->state_mu_.Lock();
       f->state_write_locked_.store(true, std::memory_order_relaxed);
     }
-    ~StateWriteLock() {
-      forest->state_write_locked_.store(false, std::memory_order_relaxed);
+    ~StateWriteLock() RELEASE() {
+      forest_->state_write_locked_.store(false, std::memory_order_relaxed);
+      forest_->state_mu_.Unlock();
     }
-    const CoconutForest* forest;
-    std::unique_lock<std::shared_mutex> lock;
+
+    StateWriteLock(const StateWriteLock&) = delete;
+    StateWriteLock& operator=(const StateWriteLock&) = delete;
+
+   private:
+    const CoconutForest* const forest_;
   };
 
   ForestOptions options_;
@@ -226,17 +248,18 @@ class CoconutForest {
 
   // Writer-only state: serialized by writer_mu_, never touched by readers.
   // Mutable so const inspection (raw_size) can synchronize with writers.
-  mutable std::mutex writer_mu_;
-  uint64_t next_run_id_ = 0;
-  uint64_t raw_bytes_ = 0;  // current size of the raw file
+  mutable Mutex writer_mu_;
+  uint64_t next_run_id_ GUARDED_BY(writer_mu_) = 0;
+  uint64_t raw_bytes_ GUARDED_BY(writer_mu_) = 0;  // raw file size
 
   // Reader-visible state, guarded by state_mu_. The memtable vector is
   // created with capacity memtable_series and replaced (never reallocated)
   // on flush; entries below memtable_count_ are immutable.
-  mutable std::shared_mutex state_mu_;
-  std::shared_ptr<std::vector<MemEntry>> memtable_;
-  size_t memtable_count_ = 0;
-  std::vector<std::shared_ptr<const CoconutTree>> runs_;
+  mutable SharedMutex state_mu_;
+  std::shared_ptr<std::vector<MemEntry>> memtable_ GUARDED_BY(state_mu_);
+  size_t memtable_count_ GUARDED_BY(state_mu_) = 0;
+  std::vector<std::shared_ptr<const CoconutTree>> runs_
+      GUARDED_BY(state_mu_);
   // Debug-only invariant tracking: true while this object's (single,
   // writer_mu_-serialized) writer holds state_mu_ exclusively. Heavy merge
   // work asserts this is false — readers must never wait on a merge.

@@ -7,7 +7,6 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <numeric>
 
 #include "src/common/env.h"
@@ -214,7 +213,7 @@ Status CoconutTree::EnsureSimsLoaded() const {
   // arrays are immutable afterwards, so the steady state is a lock-free
   // acquire-load.
   if (sims_loaded_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(sims_mu_);
+  MutexLock lock(&sims_mu_);
   if (sims_loaded_.load(std::memory_order_relaxed)) return Status::OK();
   if (sidecar_file_ == nullptr) {
     // Open() tolerated a missing sidecar (approx-only usage); retry here

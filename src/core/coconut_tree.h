@@ -31,11 +31,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/common/zkey.h"
 #include "src/core/coconut_options.h"
 #include "src/core/query_scratch.h"
@@ -165,8 +165,10 @@ class CoconutTree {
   // SIMS in-memory arrays (leaf order), loaded lazily from the sidecar on
   // first exact query. Immutable once sims_loaded_ is set (release-store
   // after the arrays are filled; acquire-load fast path keeps the steady
-  // state lock-free); sims_mu_ serializes the one-time load.
-  mutable std::mutex sims_mu_;
+  // state lock-free); sims_mu_ serializes the one-time load. The arrays
+  // carry no GUARDED_BY: after the latch publishes, readers touch them
+  // without the mutex (the release/acquire pair is the ordering).
+  mutable Mutex sims_mu_;
   mutable std::atomic<bool> sims_loaded_{false};
   mutable std::vector<uint8_t> sims_sax_;      // num_entries * segments bytes
   mutable std::vector<uint64_t> sims_offsets_;  // num_entries

@@ -601,7 +601,7 @@ Status CoconutTrie::EnsureSimsLoaded() const {
   // mutex and find sims_loaded_ set. The arrays are immutable afterwards,
   // so the steady state is a lock-free acquire-load.
   if (sims_loaded_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(sims_mu_);
+  MutexLock lock(&sims_mu_);
   if (sims_loaded_.load(std::memory_order_relaxed)) return Status::OK();
   const size_t w = options_.summary.segments;
   const uint64_t n = super_.num_entries;

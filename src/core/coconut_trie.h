@@ -25,11 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/common/zkey.h"
 #include "src/core/coconut_options.h"
 #include "src/core/query_scratch.h"
@@ -171,7 +171,7 @@ class CoconutTrie {
   // query. Immutable once sims_loaded_ is set (release-store after the
   // arrays are filled; acquire-load fast path keeps the steady state
   // lock-free); sims_mu_ serializes the one-time load.
-  mutable std::mutex sims_mu_;
+  mutable Mutex sims_mu_;
   mutable std::atomic<bool> sims_loaded_{false};
   mutable std::vector<uint8_t> sims_sax_;
   mutable std::vector<uint64_t> sims_offsets_;

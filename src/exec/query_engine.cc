@@ -1,8 +1,8 @@
 #include "src/exec/query_engine.h"
 
 #include <algorithm>
-#include <mutex>
 
+#include "src/common/sync.h"
 #include "src/common/timer.h"
 #include "src/io/io_stats.h"
 #include "src/obs/metrics.h"
@@ -104,7 +104,7 @@ Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
                 bool flush_per_item, std::vector<QueryTrace>* item_traces,
                 const Fn& one) {
   Status first_error = Status::OK();
-  std::mutex error_mu;
+  Mutex error_mu;
   pool->ParallelFor(
       0, num_items, /*grain=*/0,
       [&](uint64_t lo, uint64_t hi) {
@@ -127,7 +127,7 @@ Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
           trace.cpu_ns = cpu.ElapsedNanos();
           scratch.trace = nullptr;
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            MutexLock lock(&error_mu);
             if (first_error.ok()) first_error = st;
             return;
           }

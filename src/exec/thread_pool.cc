@@ -74,10 +74,10 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -85,8 +85,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     QueueEntry entry;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown and drained
       entry = std::move(queue_.front());
       queue_.pop_front();
@@ -110,11 +110,11 @@ void ThreadPool::Submit(std::function<void()> fn) {
   const uint64_t flow_id = traced ? Tracer::Default().NextFlowId() : 0;
   const uint64_t t0 = traced ? Tracer::NowNanos() : 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(
         {std::move(fn), std::chrono::steady_clock::now(), flow_id});
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   if (traced) {
     Tracer& tracer = Tracer::Default();
     const uint64_t t1 = Tracer::NowNanos();
@@ -133,8 +133,8 @@ struct ThreadPool::ForState {
   const std::function<void(uint64_t, uint64_t)>* body = nullptr;
   std::atomic<uint64_t> next_chunk{0};
   std::atomic<uint64_t> done_chunks{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
+  Mutex mu;
+  CondVar done_cv;
 
   uint64_t end() const { return begin + grain * num_chunks; }
 
@@ -154,8 +154,8 @@ struct ThreadPool::ForState {
       const uint64_t total =
           done_chunks.fetch_add(ran, std::memory_order_acq_rel) + ran;
       if (total == num_chunks) {
-        std::lock_guard<std::mutex> lock(mu);
-        done_cv.notify_all();
+        MutexLock lock(&mu);
+        done_cv.NotifyAll();
       }
     }
     return ran;
@@ -202,13 +202,13 @@ void ThreadPool::ParallelFor(
   }
   {
     const auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (uint64_t i = 0; i < helpers; ++i) {
       queue_.push_back({[state, end]() { state->Drain(end); }, now,
                         traced ? flow_ids[i] : 0});
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (traced) {
     // One flow-start per helper task, all inside one submit slice: the
     // viewer draws a fan of arrows from this thread to every worker that
@@ -224,11 +224,11 @@ void ThreadPool::ParallelFor(
   // The caller participates; this guarantees forward progress even when all
   // workers are busy with other (possibly enclosing) tasks.
   state->Drain(end);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&]() {
-    return state->done_chunks.load(std::memory_order_acquire) ==
-           state->num_chunks;
-  });
+  MutexLock lock(&state->mu);
+  while (state->done_chunks.load(std::memory_order_acquire) !=
+         state->num_chunks) {
+    state->done_cv.Wait(state->mu);
+  }
 }
 
 ThreadPool* ThreadPool::Shared() {

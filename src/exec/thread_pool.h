@@ -20,16 +20,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace coconut {
 
@@ -97,11 +97,14 @@ class ThreadPool {
   /// 'f' event pairing it with its enqueue when tracing is on.
   static void RunEntryTraced(const QueueEntry& entry);
 
+  // Immutable after construction (workers are spawned in the constructor
+  // and joined in the destructor only).
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueueEntry> queue_;
-  bool shutdown_ = false;
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<QueueEntry> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// A task that runs exactly once — either on a pool worker or inline in the

@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace coconut {
 
@@ -46,9 +47,9 @@ void IoStats::RecordWrite(uint64_t bytes, bool random) {
 }
 
 const IoCounterSet& GetIoComponent(const std::string& component) {
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex();
   static auto* sets = new std::map<std::string, std::unique_ptr<IoCounterSet>>();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(mu);
   auto& slot = (*sets)[component];
   if (!slot) {
     slot = std::make_unique<IoCounterSet>(

@@ -139,6 +139,7 @@ std::string StatuszJson(uint64_t start_ns) {
 AdminServer::~AdminServer() { Stop(); }
 
 Status AdminServer::Start(uint16_t port) {
+  MutexLock lock(&lifecycle_mu_);
   if (running()) return Status::InvalidArgument("admin server already running");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -173,14 +174,20 @@ Status AdminServer::Start(uint16_t port) {
   }
 
   listen_fd_ = fd;
-  port_ = ntohs(addr.sin_port);
-  start_ns_ = Tracer::NowNanos();
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  start_ns_.store(Tracer::NowNanos(), std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this]() { ServeLoop(); });
+  // The serve thread gets the socket by value and never reads lifecycle
+  // state, so a concurrent Stop() can tear the members down safely.
+  // coconut-lint: allow(raw-thread) -- see admin_server.h
+  thread_ = std::thread([this, fd]() { ServeLoop(fd); });
   return Status::OK();
 }
 
 void AdminServer::Stop() {
+  // Serialized with Start and with concurrent Stop callers; the serve
+  // thread never takes lifecycle_mu_, so joining under it cannot deadlock.
+  MutexLock lock(&lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
@@ -190,20 +197,20 @@ void AdminServer::Stop() {
 }
 
 void AdminServer::SetHealthCheck(HealthCheck check) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(&health_mu_);
   health_ = std::move(check);
 }
 
-void AdminServer::ServeLoop() {
+void AdminServer::ServeLoop(int listen_fd) {
   // Poll-gated accept: wake at least every 100 ms to notice Stop().
   while (running()) {
     pollfd pfd;
-    pfd.fd = listen_fd_;
+    pfd.fd = listen_fd;
     pfd.events = POLLIN;
     pfd.revents = 0;
     const int r = ::poll(&pfd, 1, 100);
     if (r <= 0) continue;  // timeout or EINTR; re-check running()
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
     HandleConnection(conn);
     ::close(conn);
@@ -299,7 +306,7 @@ AdminServer::Response AdminServer::Handle(const std::string& method,
   } else if (path == "/healthz") {
     HealthCheck check;
     {
-      std::lock_guard<std::mutex> lock(health_mu_);
+      MutexLock lock(&health_mu_);
       check = health_;
     }
     const Status s = check ? check() : Status::OK();
@@ -311,7 +318,7 @@ AdminServer::Response AdminServer::Handle(const std::string& method,
     }
   } else if (path == "/statusz") {
     resp.content_type = "application/json";
-    resp.body = StatuszJson(start_ns_);
+    resp.body = StatuszJson(start_ns_.load(std::memory_order_acquire));
   } else if (path == "/queryz") {
     resp.content_type = "application/json";
     resp.body = SlowQueryLog::Default().ToJson();

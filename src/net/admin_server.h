@@ -34,11 +34,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 
 namespace coconut {
 
@@ -55,14 +55,15 @@ class AdminServer {
   /// bind/listen fails.
   Status Start(uint16_t port);
 
-  /// Stops the serve thread and closes the listening socket. Idempotent.
-  /// An in-flight request (e.g. a /tracez window) is allowed to finish.
+  /// Stops the serve thread and closes the listening socket. Idempotent
+  /// and safe against concurrent Start/Stop from other threads. An
+  /// in-flight request (e.g. a /tracez window) is allowed to finish.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// The bound port (resolves the ephemeral port after Start(0)).
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
   /// Health probe backing /healthz: OK -> 200, non-OK -> 503 with the
   /// status text in the body. Unset means always healthy. Typically wired
@@ -86,17 +87,27 @@ class AdminServer {
   static AdminServer* MaybeStartFromEnv();
 
  private:
-  void ServeLoop();
+  /// The accept loop owns its listening socket by value: the serve thread
+  /// never touches lifecycle state, so Stop() can join it while holding
+  /// lifecycle_mu_ without deadlock.
+  void ServeLoop(int listen_fd);
   void HandleConnection(int fd);
 
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  uint64_t start_ns_ = 0;  // Tracer::NowNanos() at Start, for /statusz uptime
-  std::thread thread_;
+  // Serializes Start/Stop (either may be called from any thread; the
+  // destructor runs Stop too).
+  mutable Mutex lifecycle_mu_;
+  int listen_fd_ GUARDED_BY(lifecycle_mu_) = -1;
+  // coconut-lint: allow(raw-thread) -- dedicated blocking accept loop; the
+  // shared ThreadPool must never be occupied by an indefinite poll() wait.
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
+  // Atomics, not lifecycle_mu_: read by port()/Handle() on other threads
+  // while Start holds the lock.
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> start_ns_{0};  // Tracer::NowNanos() at Start
 
-  mutable std::mutex health_mu_;
-  HealthCheck health_;
+  mutable Mutex health_mu_;
+  HealthCheck health_ GUARDED_BY(health_mu_);
 };
 
 }  // namespace coconut

@@ -2,8 +2,9 @@
 
 #include <csignal>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace coconut {
 
@@ -14,8 +15,8 @@ struct DumpEntry {
   bool ran;
 };
 
-std::mutex& Mu() {
-  static std::mutex mu;
+Mutex& Mu() {
+  static Mutex mu;
   return mu;
 }
 
@@ -50,7 +51,7 @@ void InstallOnce() {
 }  // namespace
 
 void RegisterExitDump(void (*fn)()) {
-  std::lock_guard<std::mutex> lock(Mu());
+  MutexLock lock(&Mu());
   InstallOnce();
   Dumps().push_back(DumpEntry{fn, false});
 }
@@ -61,7 +62,7 @@ void RunExitDumps() {
   // self-deadlock on Mu().
   std::vector<void (*)()> to_run;
   {
-    std::lock_guard<std::mutex> lock(Mu());
+    MutexLock lock(&Mu());
     auto& dumps = Dumps();
     for (auto it = dumps.rbegin(); it != dumps.rend(); ++it) {
       if (!it->ran) {

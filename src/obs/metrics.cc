@@ -224,21 +224,21 @@ std::string RegistrySnapshot::ToJson() const {
 // MetricRegistry
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -246,7 +246,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
 
 RegistrySnapshot MetricRegistry::Snapshot() const {
   RegistrySnapshot s;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();

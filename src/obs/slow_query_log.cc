@@ -59,6 +59,10 @@ SlowQueryLog::SlowQueryLog(uint64_t threshold_ns, size_t recent_per_stripe,
                            size_t slow_per_stripe)
     : threshold_ns_(threshold_ns) {
   for (Stripe& s : stripes_) {
+    // The lock is not strictly needed before the object is shared, but the
+    // analysis has no "still constructing" notion for members of array
+    // elements, and an uncontended acquire costs nothing here.
+    MutexLock lock(&s.mu);
     s.recent.slots.resize(std::max<size_t>(recent_per_stripe, 1));
     s.slow.slots.resize(std::max<size_t>(slow_per_stripe, 1));
   }
@@ -86,7 +90,7 @@ void SlowQueryLog::Record(const QueryTrace& trace, bool exact) {
   total_recorded_.fetch_add(1, std::memory_order_relaxed);
   const bool slow = trace.total_ns >= threshold_ns();
   Stripe& s = stripes_[StripeIndex()];
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   s.recent.Push(e);
   if (slow) s.slow.Push(e);
 }
@@ -95,7 +99,7 @@ std::vector<SlowQueryEntry> SlowQueryLog::SnapshotEntries(
     bool slow_only) const {
   std::vector<SlowQueryEntry> out;
   for (const Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     const Ring& ring = slow_only ? s.slow : s.recent;
     const uint64_t n =
         std::min<uint64_t>(ring.head, ring.slots.size());

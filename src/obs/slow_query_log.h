@@ -17,10 +17,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/obs/query_trace.h"
 
 namespace coconut {
@@ -85,9 +85,9 @@ class SlowQueryLog {
     }
   };
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    Ring recent;
-    Ring slow;
+    mutable Mutex mu;
+    Ring recent GUARDED_BY(mu);
+    Ring slow GUARDED_BY(mu);
   };
 
   std::atomic<uint64_t> threshold_ns_;

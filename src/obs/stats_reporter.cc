@@ -9,26 +9,33 @@ StatsReporter::StatsReporter(std::chrono::milliseconds interval,
                              MetricRegistry* registry, std::FILE* out)
     : interval_(interval), registry_(registry), out_(out) {
   last_ = registry_->Snapshot();
+  // coconut-lint: allow(raw-thread) -- see stats_reporter.h
   thread_ = std::thread([this]() { Loop(); });
 }
 
 void StatsReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void StatsReporter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!stop_) {
-    if (cv_.wait_for(lock, interval_, [this]() { return stop_; })) break;
-    lock.unlock();
+    // Sleep one interval, absorbing spurious and stray wakeups; a
+    // notification only ever means "stop_ became true".
+    const auto deadline = std::chrono::steady_clock::now() + interval_;
+    while (!stop_ &&
+           cv_.WaitUntil(mu_, deadline) == std::cv_status::no_timeout) {
+    }
+    if (stop_) break;
+    lock.Unlock();
     ReportOnce();
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -7,11 +7,10 @@
 #define COCONUT_OBS_STATS_REPORTER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
+#include "src/common/sync.h"
 #include "src/obs/metrics.h"
 
 namespace coconut {
@@ -41,10 +40,16 @@ class StatsReporter {
   MetricRegistry* registry_;
   std::FILE* out_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Owned by the reporter thread after construction: only Loop()/ReportOnce
+  // touch it (with mu_ deliberately released around the snapshot work), so
+  // it carries no GUARDED_BY.
   RegistrySnapshot last_;
+  // coconut-lint: allow(raw-thread) -- the reporter mostly sleeps on cv_;
+  // parking a ThreadPool worker for the process lifetime would steal a slot
+  // from real work.
   std::thread thread_;
 };
 

@@ -117,7 +117,7 @@ Tracer::Ring* Tracer::ThreadRing() {
   const std::thread::id self = std::this_thread::get_id();
   std::shared_ptr<Ring> ring;
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(&rings_mu_);
     for (const auto& r : rings_) {
       if (r->owner == self) {
         ring = r;
@@ -156,7 +156,7 @@ void Tracer::RecordFlow(char phase, const char* name, uint64_t flow_id,
 std::vector<TraceEvent> Tracer::DrainEvents(uint64_t since_ns) const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(&rings_mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;

@@ -35,9 +35,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace coconut {
 
@@ -138,8 +139,10 @@ class Tracer {
   const uint64_t tracer_id_;
   size_t ring_capacity_;
 
-  mutable std::mutex rings_mu_;
-  std::vector<std::shared_ptr<Ring>> rings_;  // one per thread, never removed
+  mutable Mutex rings_mu_;
+  // One ring per thread, never removed. The registry vector is guarded;
+  // the rings' slots themselves are lock-free atomics.
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(rings_mu_);
 };
 
 /// RAII span: records [construction, destruction) of the current scope into

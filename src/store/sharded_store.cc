@@ -156,6 +156,9 @@ Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
     }
     // Replay the epoch journal BEFORE any forest opens: torn shard tails
     // must be truncated away before recovery bulk-loads the raw files.
+    // (The store is not shared yet; the lock just satisfies the guarded
+    // next_epoch_ write and is uncontended.)
+    MutexLock commit_lock(&store->commit_mu_);
     COCONUT_RETURN_IF_ERROR(RecoverFromJournal(dir, &store->manifest_,
                                                &store->next_epoch_));
     // Persist the recovered state, then retire the applied records. The
@@ -232,17 +235,22 @@ Status ShardedStore::Fault(CommitPoint point, size_t shard) const {
 }
 
 Status ShardedStore::Poison(const Status& cause) {
-  if (!cause.ok() && poison_.ok()) {
-    poison_ = Status::IOError(
-        "store is read-only until reopened (commit protocol failure): " +
-        cause.ToString());
+  if (!cause.ok()) {
+    MutexLock poison_lock(&poison_mu_);
+    if (poison_.ok()) {
+      poison_ = Status::IOError(
+          "store is read-only until reopened (commit protocol failure): " +
+          cause.ToString());
+    }
   }
   return cause;
 }
 
 Status ShardedStore::WriteHealth() const {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  return poison_;
+  // Deliberately NOT commit_mu_: an epoch commit stages durable appends
+  // (real I/O) under that lock, and a health probe must report during one,
+  // not block behind it.
+  return PoisonStatus();
 }
 
 Status ShardedStore::Insert(const Series& series) {
@@ -250,8 +258,8 @@ Status ShardedStore::Insert(const Series& series) {
     return Status::InvalidArgument("series length mismatch");
   }
   const size_t shard = ShardForSeries(series);
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  COCONUT_RETURN_IF_ERROR(poison_);
+  MutexLock commit_lock(&commit_mu_);
+  COCONUT_RETURN_IF_ERROR(PoisonStatus());
   return TagShard(shard, shards_[shard]->Insert(series));
 }
 
@@ -272,8 +280,8 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
     if (owner[i] != owner[0]) single_shard = false;
   }
 
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  COCONUT_RETURN_IF_ERROR(poison_);
+  MutexLock commit_lock(&commit_mu_);
+  COCONUT_RETURN_IF_ERROR(PoisonStatus());
   if (single_shard) {
     // Fast path (always taken by 1-shard stores): the epoch journal is
     // skipped entirely. Crash semantics are the unsharded forest's
@@ -390,7 +398,7 @@ Status ShardedStore::CommitCrossShardLocked(
   {
     ScopedTimer publish_timer(publish_ns);
     TraceSpan publish_span("store.commit.publish", "store");
-    std::unique_lock<std::shared_mutex> visibility_lock(visibility_mu_);
+    WriterLock visibility_lock(&visibility_mu_);
     for (size_t i : touched) {
       if (!shards_[i]->StagedFits(staged[i])) {
         return Poison(Status::Internal(
@@ -470,8 +478,8 @@ Status ShardedStore::Flush() {
       MetricRegistry::Default().GetHistogram("store.flush_ns");
   ScopedTimer flush_timer(flush_ns);
   TraceSpan flush_span("store.flush", "store");
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  COCONUT_RETURN_IF_ERROR(poison_);
+  MutexLock commit_lock(&commit_mu_);
+  COCONUT_RETURN_IF_ERROR(PoisonStatus());
   COCONUT_RETURN_IF_ERROR(
       ForEachShardParallel([this](size_t i) { return shards_[i]->Flush(); }));
   return CommitManifestLocked();
@@ -482,15 +490,15 @@ Status ShardedStore::CompactAll() {
   // concurrently. Level 2 happens inside each shard, where the runs-merge
   // is chunked over the same pool (nested ParallelFor is deadlock-free by
   // caller participation).
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  COCONUT_RETURN_IF_ERROR(poison_);
+  MutexLock commit_lock(&commit_mu_);
+  COCONUT_RETURN_IF_ERROR(PoisonStatus());
   COCONUT_RETURN_IF_ERROR(ForEachShardParallel(
       [this](size_t i) { return shards_[i]->CompactAll(); }));
   return CommitManifestLocked();
 }
 
 ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
-  std::shared_lock<std::shared_mutex> visibility_lock(visibility_mu_);
+  ReaderLock visibility_lock(&visibility_mu_);
   Snapshot snap;
   snap.epoch = committed_epoch_.load(std::memory_order_acquire);
   snap.shards.reserve(shards_.size());
@@ -501,7 +509,7 @@ ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
 }
 
 uint64_t ShardedStore::num_entries() const {
-  std::shared_lock<std::shared_mutex> visibility_lock(visibility_mu_);
+  ReaderLock visibility_lock(&visibility_mu_);
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->num_entries();
   return total;

@@ -48,12 +48,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/common/zkey.h"
 #include "src/core/coconut_forest.h"
 #include "src/exec/thread_pool.h"
@@ -226,21 +225,29 @@ class ShardedStore {
   /// Re-commits the manifest with current advisory entry counts and the
   /// last committed epoch, then checkpoints (resets) the journal — its
   /// records are all obsolete once the manifest holds the epoch floor.
-  /// Requires commit_mu_ held and the store not poisoned.
-  Status CommitManifestLocked();
+  /// The store must not be poisoned.
+  Status CommitManifestLocked() REQUIRES(commit_mu_);
   /// Journal replay at Open: truncates torn shard tails (uncommitted
   /// epochs, torn single-series writes) and advances the epoch floor.
   static Status RecoverFromJournal(const std::string& dir,
                                    StoreManifest* manifest,
                                    uint64_t* next_epoch);
-  /// The atomic multi-shard commit (epoch + journal + staged publication);
-  /// requires commit_mu_ held.
-  Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets);
+  /// The atomic multi-shard commit (epoch + journal + staged publication).
+  Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets)
+      REQUIRES(commit_mu_);
   /// Invokes the test-only fault hook at `point` (no-op when unset).
   Status Fault(CommitPoint point, size_t shard) const;
-  /// Marks the store write-poisoned after a torn commit; requires
-  /// commit_mu_ held. Returns `cause` for convenient chaining.
-  Status Poison(const Status& cause);
+  /// Marks the store write-poisoned after a torn commit (writers are
+  /// serialized, so only a commit_mu_ holder ever poisons). Returns `cause`
+  /// for convenient chaining.
+  Status Poison(const Status& cause) REQUIRES(commit_mu_);
+  /// Current poison status under its own innermost lock, so health probes
+  /// (and the write entry points' pre-checks) never wait behind an
+  /// in-flight epoch commit holding commit_mu_.
+  Status PoisonStatus() const EXCLUDES(poison_mu_) {
+    MutexLock lock(&poison_mu_);
+    return poison_;
+  }
 
   StoreOptions options_;
   std::string dir_;
@@ -255,21 +262,24 @@ class ShardedStore {
   // order (the group-commit discipline — batching concurrent writers into
   // one epoch is the named follow-on). The manifest is also re-committed
   // under this lock.
-  mutable std::mutex commit_mu_;
-  // Next epoch to assign (under commit_mu_); always above every epoch ever
-  // journaled, even across reopens.
-  uint64_t next_epoch_ = 1;
+  mutable Mutex commit_mu_;
+  // Next epoch to assign; always above every epoch ever journaled, even
+  // across reopens.
+  uint64_t next_epoch_ GUARDED_BY(commit_mu_) = 1;
   // Set after a torn cross-shard commit: every later write returns this
   // status until the store is reopened (recovery rolls the epoch back).
-  // Guarded by commit_mu_.
-  Status poison_;
+  // Guarded by its own innermost mutex (ordering: commit_mu_ before
+  // poison_mu_) so WriteHealth stays responsive while a long epoch commit
+  // holds commit_mu_ — a health probe must report, not hang.
+  mutable Mutex poison_mu_;
+  Status poison_ GUARDED_BY(poison_mu_);
   // Last epoch committed AND published (atomic so snapshots can stamp
   // themselves without taking commit_mu_).
   std::atomic<uint64_t> committed_epoch_{0};
   // Publication/visibility lock: multi-shard publications hold it
   // exclusively (short, no I/O), snapshots and counts hold it shared — a
   // snapshot can never observe half an epoch.
-  mutable std::shared_mutex visibility_mu_;
+  mutable SharedMutex visibility_mu_;
 };
 
 }  // namespace coconut

@@ -106,6 +106,35 @@ TEST(AdminServer, RejectsDoubleStart) {
   server.Stop();
 }
 
+TEST(AdminServer, ConcurrentStopCallsAreSafe) {
+  // Regression: Stop() used to read listen_fd_/thread_ without
+  // serialization, so two racing Stop calls (e.g. an explicit Stop racing
+  // the destructor) could double-join or double-close. Both the data race
+  // and the double-free show up under the TSan/ASan CI jobs.
+  for (int round = 0; round < 8; ++round) {
+    AdminServer server;
+    ASSERT_OK(server.Start(0));
+    const uint16_t port = server.port();
+    // A request in flight while the stops race, so the serve thread is
+    // genuinely busy rather than parked in poll().
+    std::thread client([port]() {
+      std::string body;
+      HttpGet(port, "/metrics.json", &body);  // outcome irrelevant
+    });
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&server]() { server.Stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    client.join();
+    EXPECT_FALSE(server.running());
+    // The port must be released: a fresh server can bind it again.
+    AdminServer rebind;
+    ASSERT_OK(rebind.Start(port));
+    rebind.Stop();
+  }
+}
+
 TEST(AdminServer, ServesAllEndpointsUnderConcurrentQueryLoad) {
   ScratchDir dir;
   ForestOptions opts;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -525,6 +526,58 @@ TEST(ShardedStoreRecovery, TornCommitStatusNamesFailedShards) {
   EXPECT_NE(st.message().find("shard " + std::to_string(victim->load())),
             std::string::npos)
       << st.ToString();
+}
+
+TEST(ShardedStore, WriteHealthRespondsDuringInFlightCommit) {
+  // Regression: WriteHealth used to take commit_mu_, so a health probe
+  // queued behind an entire epoch commit — and the stage phase does real
+  // durable I/O under that lock. The poison flag now lives under its own
+  // innermost mutex; a probe must answer while a commit is in flight.
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+
+  // The fault hook parks staging shards until released, modeling a slow
+  // durable append: the commit lock stays held for the whole stall.
+  auto entered = std::make_shared<std::atomic<bool>>(false);
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  StoreOptions opts = SmallStore(dir, 2);
+  opts.commit_fault_hook = [entered, release](CommitPoint point, size_t) {
+    if (point != CommitPoint::kShardStage) return Status::OK();
+    entered->store(true);
+    while (!release->load()) std::this_thread::yield();
+    return Status::OK();
+  };
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+
+  const std::vector<Series> batch = MakeSeries(120, 4200);
+  // Must be multi-shard, or the journal-free fast path would skip the
+  // epoch protocol (and its kShardStage hook) entirely.
+  std::map<size_t, size_t> owners;
+  for (const Series& s : batch) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u);
+
+  std::thread writer([&]() { EXPECT_OK(store->InsertBatch(batch)); });
+  while (!entered->load()) std::this_thread::yield();
+
+  // Probe from a helper thread with a deadline, so a regression shows up
+  // as a failed expectation instead of a hung test.
+  std::atomic<bool> health_done{false};
+  std::thread prober([&]() {
+    EXPECT_OK(store->WriteHealth());
+    health_done.store(true);
+  });
+  for (int i = 0; i < 5000 && !health_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(health_done.load())
+      << "WriteHealth blocked behind an in-flight epoch commit";
+
+  release->store(true);
+  prober.join();
+  writer.join();
+  EXPECT_OK(store->WriteHealth());
+  EXPECT_EQ(store->num_entries(), batch.size());
 }
 
 TEST(ShardedStoreRecovery, JournalTornTailIgnoredInteriorCorruptionRejected) {

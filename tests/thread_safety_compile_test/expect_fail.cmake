@@ -1,0 +1,44 @@
+# Compiles SOURCE with clang's thread-safety analysis promoted to an error
+# and asserts the outcome named by EXPECT:
+#   EXPECT=FAIL  the file must be rejected, and rejected BY THE ANALYSIS
+#                (a failure mentioning no thread-safety diagnostic means the
+#                fixture itself broke — report that separately)
+#   EXPECT=PASS  the file must compile cleanly (the control case)
+#
+# Invoked by CTest (see CMakeLists.txt, clang builds only):
+#   cmake -DCOMPILER=... -DSOURCE=... -DINCLUDE_DIR=... -DEXPECT=FAIL \
+#         -P expect_fail.cmake
+foreach(var COMPILER SOURCE INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety-analysis
+          -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+        "${SOURCE} compiled cleanly, but every function in it violates the "
+        "locking contract: thread-safety analysis is not running "
+        "(annotations compiled away?)")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "${SOURCE} failed to compile, but not because of the thread-safety "
+        "analysis — the fixture is broken:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+        "control file ${SOURCE} must compile cleanly but did not:\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or PASS, got '${EXPECT}'")
+endif()

@@ -1,0 +1,42 @@
+// Control for the negative-compile fixture: the same shape of code as
+// unguarded_access.cc with the locking done correctly. This file must
+// compile cleanly under clang -Werror=thread-safety-analysis — it proves
+// the sibling file's expected failure comes from the analysis catching the
+// violations, not from the fixture itself being unbuildable (wrong include
+// path, syntax error, ...).
+#include "src/common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    coconut::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Read() const {
+    coconut::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementViaRequires() {
+    coconut::MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable coconut::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.IncrementViaRequires();
+  return c.Read();
+}

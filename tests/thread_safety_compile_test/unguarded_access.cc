@@ -1,0 +1,49 @@
+// Negative-compile fixture: every function below violates the annotated
+// locking contract, and clang -Werror=thread-safety-analysis must REJECT
+// this file. If it ever compiles, the annotations in src/common/sync.h
+// have stopped doing their job (macros defined away, capability attribute
+// lost, ...) and the whole static locking story is silently off.
+//
+// Driven by tests/thread_safety_compile_test/expect_fail.cmake; the
+// guarded_access.cc control proves failures come from the analysis, not
+// from the fixture being unbuildable. GCC compiles the annotations to
+// nothing, so these tests exist only in clang builds.
+#include "src/common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation 1: writes a GUARDED_BY member with no lock held.
+  void IncrementUnlocked() { ++value_; }
+
+  // Violation 2: reads a GUARDED_BY member with no lock held.
+  int ReadUnlocked() const { return value_; }
+
+  // Violation 3: calls a REQUIRES function without holding the mutex.
+  void CallRequiresUnlocked() { IncrementLocked(); }
+
+  // Violation 4: returns while still holding the scoped lock's mutex via a
+  // manual double-unlock bookkeeping error (lock released twice).
+  void DoubleUnlock() {
+    coconut::MutexLock lock(&mu_);
+    lock.Unlock();
+    lock.Unlock();
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable coconut::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementUnlocked();
+  c.CallRequiresUnlocked();
+  c.DoubleUnlock();
+  return c.ReadUnlocked();
+}
