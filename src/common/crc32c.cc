@@ -1,0 +1,170 @@
+// CRC32C scalar backend (slice-by-8 table lookup), optional ARMv8 backend,
+// and the one-shot backend dispatcher (see crc32c.h for the latching and
+// override semantics).
+#include "src/common/crc32c.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/crc32c_internal.h"
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#endif
+
+namespace coconut {
+namespace crc32c {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 tables, generated once at first use (8 * 256 * 4 B = 8 KiB —
+// smaller in the binary and exactly as fast as a checked-in literal table).
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? kPoly : 0);
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+uint32_t ExtendScalar(uint32_t crc, const uint8_t* p, size_t n) {
+  const Tables& tb = tables();
+  uint32_t c = ~crc;
+  while (n != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    v ^= c;
+    c = tb.t[7][v & 0xFF] ^ tb.t[6][(v >> 8) & 0xFF] ^
+        tb.t[5][(v >> 16) & 0xFF] ^ tb.t[4][(v >> 24) & 0xFF] ^
+        tb.t[3][(v >> 32) & 0xFF] ^ tb.t[2][(v >> 40) & 0xFF] ^
+        tb.t[1][(v >> 48) & 0xFF] ^ tb.t[0][(v >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    --n;
+  }
+  return ~c;
+}
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+// Only compiled when the baseline target already enables the CRC extension
+// (-march=...+crc), so no runtime HWCAP probe is needed.
+uint32_t ExtendArm(uint32_t crc, const uint8_t* p, size_t n) {
+  uint32_t c = ~crc;
+  while (n != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __crc32cd(c, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+#endif
+
+struct Backend {
+  const char* name;
+  internal::ExtendFn fn;
+};
+
+Backend Detect() {
+  if (internal::ExtendFn hw = internal::Sse42Backend()) {
+    return {"sse42", hw};
+  }
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+  return {"armv8", &ExtendArm};
+#endif
+  return {"scalar", &ExtendScalar};
+}
+
+Backend Select() {
+  // Same override contract as src/simd/kernels.cc: an unrunnable or unknown
+  // request falls through to auto-detection instead of crashing.
+  if (const char* env = std::getenv("COCONUT_CRC32C")) {
+    const std::string want(env);
+    if (want == "scalar") return {"scalar", &ExtendScalar};
+    if (want == "sse42") {
+      if (internal::ExtendFn hw = internal::Sse42Backend()) {
+        return {"sse42", hw};
+      }
+    }
+  }
+  return Detect();
+}
+
+const Backend& Latched() {
+  static const Backend kBackend = Select();
+  return kBackend;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  return Latched().fn(crc, static_cast<const uint8_t*>(data), n);
+}
+
+const char* BackendName() { return Latched().name; }
+
+std::string ToHex(uint32_t crc) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[crc & 0xF];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool FromHex(const std::string& hex, uint32_t* crc) {
+  if (hex.size() != 8) return false;
+  uint32_t v = 0;
+  for (char ch : hex) {
+    uint32_t digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<uint32_t>(ch - 'a') + 10;
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = static_cast<uint32_t>(ch - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *crc = v;
+  return true;
+}
+
+}  // namespace crc32c
+}  // namespace coconut

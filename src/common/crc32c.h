@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41): the integrity checksum behind
+// every on-disk artifact — journal records, the MANIFEST trailer, raw-series
+// block checksums, and Coconut-Tree run files. CRC32C is chosen over CRC32
+// because commodity CPUs accelerate it: SSE4.2 has a dedicated instruction
+// and ARMv8 an optional extension, so checksumming stays far below I/O cost.
+//
+// The backend is latched once per process, mirroring src/simd/kernels.cc:
+// hardware (SSE4.2 / ARMv8+crc) when the CPU reports it, a slice-by-8 table
+// fallback otherwise, with a COCONUT_CRC32C=scalar|sse42 env override that
+// falls through to auto-detection when the requested backend cannot run.
+#ifndef COCONUT_COMMON_CRC32C_H_
+#define COCONUT_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace coconut {
+namespace crc32c {
+
+/// Extends `crc` (the CRC of some prefix) with `n` more bytes. Start with 0.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// Name of the latched backend ("sse42", "armv8", or "scalar").
+const char* BackendName();
+
+/// Fixed-width lowercase hex rendering ("deadbeef"), used by the text
+/// formats (journal records, MANIFEST trailer) so widths stay predictable.
+std::string ToHex(uint32_t crc);
+
+/// Parses exactly 8 lowercase/uppercase hex digits; false on anything else.
+bool FromHex(const std::string& hex, uint32_t* crc);
+
+}  // namespace crc32c
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_CRC32C_H_

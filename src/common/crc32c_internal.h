@@ -1,0 +1,25 @@
+// Backend seam for the CRC32C dispatcher (src/common/crc32c.cc). The SSE4.2
+// backend lives in its own translation unit (crc32c_sse42.cc) compiled with
+// -msse4.2 for just that file, behind a runtime CPUID check — the same
+// per-TU codegen pattern as src/simd/kernels_avx2.cc.
+#ifndef COCONUT_COMMON_CRC32C_INTERNAL_H_
+#define COCONUT_COMMON_CRC32C_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coconut {
+namespace crc32c {
+namespace internal {
+
+using ExtendFn = uint32_t (*)(uint32_t crc, const uint8_t* data, size_t n);
+
+/// SSE4.2 hardware backend, or nullptr when the CPU (or build target)
+/// lacks it.
+ExtendFn Sse42Backend();
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_CRC32C_INTERNAL_H_

@@ -1,0 +1,72 @@
+// SSE4.2 CRC32C backend: the only translation unit compiled with -msse4.2
+// (see CMakeLists.txt), gated behind a runtime CPUID check by the dispatcher
+// in crc32c.cc so the rest of the binary stays runnable on pre-SSE4.2 x86.
+// On other architectures this file compiles to its empty-stub branch.
+#include "src/common/crc32c_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace coconut {
+namespace crc32c {
+namespace internal {
+namespace {
+
+uint32_t ExtendSse42(uint32_t crc, const uint8_t* p, size_t n) {
+  uint32_t c = ~crc;
+  while (n != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = _mm_crc32_u64(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+#else
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c = _mm_crc32_u32(c, v);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+
+}  // namespace
+
+ExtendFn Sse42Backend() {
+  return __builtin_cpu_supports("sse4.2") ? &ExtendSse42 : nullptr;
+}
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace coconut
+
+#else  // not x86
+
+namespace coconut {
+namespace crc32c {
+namespace internal {
+
+ExtendFn Sse42Backend() { return nullptr; }
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace coconut
+
+#endif

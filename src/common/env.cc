@@ -1,7 +1,12 @@
 #include "src/common/env.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <random>
@@ -9,6 +14,31 @@
 namespace coconut {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Tri-state durability latch: -1 = not yet resolved (consult COCONUT_SYNC on
+// first read), 0/1 = resolved. SetSyncOnCommit may flip it at any time.
+std::atomic<int> g_sync_on_commit{-1};
+
+}  // namespace
+
+bool SyncOnCommitEnabled() {
+  int state = g_sync_on_commit.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("COCONUT_SYNC");
+    state = (env != nullptr &&
+             (std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0))
+                ? 1
+                : 0;
+    g_sync_on_commit.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetSyncOnCommit(bool enabled) {
+  g_sync_on_commit.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 Status MakeTempDir(const std::string& prefix, std::string* out) {
   std::error_code ec;
@@ -60,6 +90,25 @@ Status RenameFile(const std::string& from, const std::string& to) {
   if (ec) {
     return Status::IOError("rename " + from + " -> " + to + ": " +
                            ec.message());
+  }
+  if (SyncOnCommitEnabled()) {
+    // A rename is only power-loss durable once the directory entry is: fsync
+    // the destination's parent (the durability opt-in's second barrier, next
+    // to WritableFile::Sync's fdatasync).
+    fs::path parent = fs::path(to).parent_path();
+    if (parent.empty()) parent = ".";
+    const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) {
+      return Status::IOError("open dir " + parent.string() + ": " +
+                             std::strerror(errno));
+    }
+    const int rc = ::fsync(dir_fd);
+    const int saved_errno = errno;
+    ::close(dir_fd);
+    if (rc != 0) {
+      return Status::IOError("fsync dir " + parent.string() + ": " +
+                             std::strerror(saved_errno));
+    }
   }
   return Status::OK();
 }

@@ -27,8 +27,21 @@ Status FileSize(const std::string& path, uint64_t* size);
 /// True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
 
-/// Atomically renames `from` to `to` (same filesystem).
+/// Atomically renames `from` to `to` (same filesystem). When the durability
+/// opt-in is on (see SyncOnCommitEnabled), the destination's parent
+/// directory is fsync'd after the rename so the new directory entry itself
+/// survives power loss.
 Status RenameFile(const std::string& from, const std::string& to);
+
+/// Whether real durability barriers are enabled: `WritableFile::Sync`
+/// issues fdatasync and RenameFile fsyncs the parent directory. Defaults to
+/// the COCONUT_SYNC environment variable ("1"/"true"); latched on first
+/// query unless overridden first via SetSyncOnCommit. See
+/// src/store/README.md ("Durability scope").
+bool SyncOnCommitEnabled();
+
+/// Programmatic override of the COCONUT_SYNC default (tests, embedders).
+void SetSyncOnCommit(bool enabled);
 
 /// Truncates the file at `path` to exactly `size` bytes (used by crash
 /// recovery to roll back uncommitted appends; never grows the file).

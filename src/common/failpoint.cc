@@ -1,0 +1,205 @@
+#include "src/common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>  // coconut-lint: allow(raw-thread) -- sleep_for only, no thread spawn
+#include <utility>
+#include <vector>
+
+namespace coconut {
+namespace {
+
+Status InjectedError(const std::string& site) {
+  return Status::IOError("failpoint: " + site);
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Default() {
+  static Failpoints* const instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  // COCONUT_FAILPOINTS="site=kind[:p],site=kind[:p],..."
+  // kind: error | torn | bitflip | delay<ms>. Malformed clauses are skipped
+  // (fault injection must never take down a production process by itself).
+  const char* env = std::getenv("COCONUT_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  const std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string site = clause.substr(0, eq);
+    std::string kind = clause.substr(eq + 1);
+    Action action;
+    const size_t colon = kind.find(':');
+    if (colon != std::string::npos) {
+      const std::string prob = kind.substr(colon + 1);
+      kind = kind.substr(0, colon);
+      char* end = nullptr;
+      const double p = std::strtod(prob.c_str(), &end);
+      if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) continue;
+      action.probability = p;
+    }
+    if (kind == "error") {
+      action.kind = Kind::kError;
+    } else if (kind == "torn") {
+      action.kind = Kind::kTornWrite;
+    } else if (kind == "bitflip") {
+      action.kind = Kind::kBitFlip;
+    } else if (kind.rfind("delay", 0) == 0) {
+      action.kind = Kind::kDelayMs;
+      char* end = nullptr;
+      const long ms = std::strtol(kind.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != '\0' || ms < 0) continue;
+      action.delay_ms = static_cast<int>(ms);
+    } else {
+      continue;
+    }
+    Arm(site, std::move(action));
+  }
+}
+
+void Failpoints::ArmLocked(const std::string& site, Action action) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+    sites_[site] = Entry{std::move(action), 0};
+  } else {
+    it->second.action = std::move(action);  // hit count survives a re-arm
+  }
+}
+
+void Failpoints::Arm(const std::string& site, Action action) {
+  MutexLock lock(&mu_);
+  ArmLocked(site, std::move(action));
+}
+
+void Failpoints::ArmError(const std::string& site, double probability) {
+  Action action;
+  action.kind = Kind::kError;
+  action.probability = probability;
+  Arm(site, std::move(action));
+}
+
+void Failpoints::ArmCallback(const std::string& site,
+                             std::function<Status(size_t)> callback) {
+  Action action;
+  action.kind = Kind::kCallback;
+  action.callback = std::move(callback);
+  Arm(site, std::move(action));
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  MutexLock lock(&mu_);
+  if (sites_.erase(site) != 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  MutexLock lock(&mu_);
+  armed_count_.fetch_sub(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) const {
+  MutexLock lock(&mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+const Failpoints::Entry* Failpoints::Roll(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.action.remaining == 0) return nullptr;
+  if (entry.action.probability < 1.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(rng_) >= entry.action.probability) return nullptr;
+  }
+  if (entry.action.remaining > 0) --entry.action.remaining;
+  ++entry.hits;
+  return &entry;
+}
+
+Status Failpoints::Hit(const char* site, size_t arg) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Kind kind;
+  int delay_ms = 0;
+  std::function<Status(size_t)> callback;
+  {
+    MutexLock lock(&mu_);
+    const Entry* entry = Roll(site);
+    if (entry == nullptr) return Status::OK();
+    kind = entry->action.kind;
+    delay_ms = entry->action.delay_ms;
+    callback = entry->action.callback;  // copy: invoked outside the lock
+  }
+  switch (kind) {
+    case Kind::kError:
+      return InjectedError(site);
+    case Kind::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+    case Kind::kCallback:
+      return callback ? callback(arg) : Status::OK();
+    case Kind::kTornWrite:
+    case Kind::kBitFlip:
+      // Write-only mutations at a non-write site degrade to a plain error:
+      // the arm was almost certainly meant to make this operation fail.
+      return InjectedError(site);
+  }
+  return Status::OK();
+}
+
+Status Failpoints::HitWrite(const char* site, size_t n, WriteFault* fault) {
+  *fault = WriteFault{};
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  Kind kind;
+  int delay_ms = 0;
+  std::function<Status(size_t)> callback;
+  {
+    MutexLock lock(&mu_);
+    const Entry* entry = Roll(site);
+    if (entry == nullptr) return Status::OK();
+    kind = entry->action.kind;
+    delay_ms = entry->action.delay_ms;
+    callback = entry->action.callback;
+    switch (kind) {
+      case Kind::kTornWrite:
+        fault->torn = true;
+        fault->torn_bytes =
+            n == 0 ? 0 : std::uniform_int_distribution<size_t>(0, n - 1)(rng_);
+        return Status::OK();
+      case Kind::kBitFlip:
+        fault->bit_flip = n != 0;
+        fault->flip_index =
+            n == 0 ? 0
+                   : std::uniform_int_distribution<size_t>(0, n * 8 - 1)(rng_);
+        return Status::OK();
+      default:
+        break;
+    }
+  }
+  switch (kind) {
+    case Kind::kError:
+      return InjectedError(site);
+    case Kind::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+    case Kind::kCallback:
+      return callback ? callback(n) : Status::OK();
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace coconut

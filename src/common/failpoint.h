@@ -1,0 +1,144 @@
+// Unified failpoint registry: named fault-injection sites compiled into the
+// production binary, free when disarmed (one relaxed atomic load), armed
+// programmatically by tests or via the COCONUT_FAILPOINTS environment
+// variable. This replaces ad-hoc per-subsystem fault hooks (the old
+// StoreOptions::commit_fault_hook) with one mechanism every layer shares:
+// the I/O layer (src/io/file.cc) consults write-site failpoints so every
+// subsystem above it gets error/torn-write/bit-flip injection for free, and
+// higher layers add protocol-point sites (e.g. "store.commit.after_begin").
+//
+// Site naming: lowercase dotted paths mirroring the metric scheme —
+// "io.file.write", "store.journal.append", "store.commit.shard_stage".
+//
+// Programmatic use (tests):
+//
+//   Failpoints::Default().ArmError("store.commit.after_begin");
+//   ...
+//   Failpoints::Default().DisarmAll();   // or use FailpointGuard (RAII)
+//
+// Environment use (whole-process):
+//
+//   COCONUT_FAILPOINTS="io.file.write=error:0.01,io.file.read=delay20"
+//
+// where each clause is site=kind[:probability], kind one of `error`,
+// `torn`, `bitflip`, or `delay<ms>`. Probability defaults to 1.
+//
+// Hit sites are declared with the FAILPOINT macro:
+//
+//   Status Append(...) {
+//     FAILPOINT("store.journal.append");
+//     ...
+//   }
+#ifndef COCONUT_COMMON_FAILPOINT_H_
+#define COCONUT_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <random>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/sync.h"
+
+namespace coconut {
+
+class Failpoints {
+ public:
+  enum class Kind {
+    kError,     // return Status::IOError("failpoint: <site>")
+    kTornWrite, // write sites: persist a random prefix, then fail
+    kBitFlip,   // write sites: flip one random bit, then SUCCEED (silent)
+    kDelayMs,   // sleep delay_ms, then continue
+    kCallback,  // invoke callback(arg); non-OK is the injected failure
+  };
+
+  struct Action {
+    Kind kind = Kind::kError;
+    double probability = 1.0;  // chance each hit fires, in [0, 1]
+    int remaining = -1;        // fire at most this many times; -1 = unlimited
+    int delay_ms = 0;          // kDelayMs only
+    // kCallback only. Invoked OUTSIDE the registry lock (it may block, e.g.
+    // to park a commit mid-protocol while a test probes health).
+    std::function<Status(size_t arg)> callback;
+  };
+
+  /// How a write site should mutilate the buffer it was about to persist.
+  /// Filled by HitWrite; interpreted by WritableFile::WriteAt.
+  struct WriteFault {
+    bool torn = false;       // persist only torn_bytes, then report failure
+    size_t torn_bytes = 0;
+    bool bit_flip = false;   // flip bit flip_index, persist fully, succeed
+    size_t flip_index = 0;   // bit index into the buffer
+  };
+
+  /// The process-wide registry (never destroyed). First use parses
+  /// COCONUT_FAILPOINTS.
+  static Failpoints& Default();
+
+  void Arm(const std::string& site, Action action);
+  void ArmError(const std::string& site, double probability = 1.0);
+  void ArmCallback(const std::string& site,
+                   std::function<Status(size_t)> callback);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Times `site` fired (injected a fault), for test assertions.
+  uint64_t HitCount(const std::string& site) const;
+
+  /// Evaluates a plain site. Returns the injected error (or delays, or runs
+  /// the armed callback) when armed and the probability roll fires; OK
+  /// otherwise. `arg` carries site-specific context (e.g. a shard index)
+  /// through to callbacks. Disarmed fast path: one relaxed load.
+  Status Hit(const char* site, size_t arg = static_cast<size_t>(-1));
+
+  /// Evaluates a write site about to persist `n` bytes. kError/kDelayMs/
+  /// kCallback behave as Hit(); kTornWrite/kBitFlip fill `*fault` with the
+  /// mutation the caller must apply to its buffer (sized against `n`) and
+  /// return OK — the caller then persists the mutilated write.
+  Status HitWrite(const char* site, size_t n, WriteFault* fault);
+
+ private:
+  struct Entry {
+    Action action;
+    uint64_t hits = 0;
+  };
+
+  Failpoints();
+
+  void ArmLocked(const std::string& site, Action action) REQUIRES(mu_);
+  /// nullptr when the site should not fire this time. Bumps hits and
+  /// decrements remaining when it does fire.
+  const Entry* Roll(const std::string& site) REQUIRES(mu_);
+
+  // Armed-site count for the disarmed fast path: Hit loads it relaxed and
+  // returns immediately when zero, so shipping the macros in hot I/O paths
+  // costs one load + branch.
+  std::atomic<int> armed_count_{0};
+  mutable Mutex mu_;
+  std::map<std::string, Entry> sites_ GUARDED_BY(mu_);
+  std::mt19937_64 rng_ GUARDED_BY(mu_){0x5eedf41155eedull};
+};
+
+/// RAII disarm-all, so a test that fails mid-body cannot leak armed sites
+/// into the next test.
+class FailpointGuard {
+ public:
+  FailpointGuard() = default;
+  FailpointGuard(const FailpointGuard&) = delete;
+  FailpointGuard& operator=(const FailpointGuard&) = delete;
+  ~FailpointGuard() { Failpoints::Default().DisarmAll(); }
+};
+
+/// Declares a failpoint site: returns the injected Status when armed.
+#define FAILPOINT(site) \
+  COCONUT_RETURN_IF_ERROR(::coconut::Failpoints::Default().Hit(site))
+
+/// Site with a context argument (e.g. shard index) passed to callbacks.
+#define FAILPOINT_ARG(site, arg) \
+  COCONUT_RETURN_IF_ERROR(::coconut::Failpoints::Default().Hit(site, arg))
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_FAILPOINT_H_

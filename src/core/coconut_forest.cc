@@ -6,8 +6,10 @@
 #include <limits>
 #include <numeric>
 
+#include "src/common/crc32c.h"
 #include "src/common/env.h"
 #include "src/core/knn.h"
+#include "src/io/file.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/stage_timer.h"
 #include "src/obs/trace.h"
@@ -153,6 +155,131 @@ std::vector<uint8_t> EncodeSortedRecords(
   return sorted;
 }
 
+/// The raw dataset's checksum sidecar: one 4-byte little-endian CRC32C per
+/// series, appended in lockstep with the raw appends. It is advisory the
+/// way a WAL checksum is — verified (and repaired) at Open, never consulted
+/// on the query path.
+constexpr size_t kRawCrcBytes = 4;
+
+std::string RawSidecarPath(const std::string& raw_path) {
+  return raw_path + ".crc";
+}
+
+void EncodeCrcLE(uint32_t crc, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(crc);
+  out[1] = static_cast<uint8_t>(crc >> 8);
+  out[2] = static_cast<uint8_t>(crc >> 16);
+  out[3] = static_cast<uint8_t>(crc >> 24);
+}
+
+uint32_t DecodeCrcLE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Appends one CRC per series of `batch` to the sidecar. Called after the
+/// raw append: a crash between the two leaves the sidecar short, which Open
+/// repairs by backfilling (the raw bytes were never acknowledged torn-free,
+/// exactly like a missing legacy sidecar).
+Status AppendRawCrcs(const std::string& raw_path,
+                     const std::vector<Series>& batch) {
+  std::unique_ptr<WritableFile> file;
+  COCONUT_RETURN_IF_ERROR(
+      WritableFile::OpenForAppend(RawSidecarPath(raw_path), &file));
+  std::vector<uint8_t> buf(batch.size() * kRawCrcBytes);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Series& s = batch[i];
+    EncodeCrcLE(crc32c::Value(s.data(), s.size() * sizeof(Value)),
+                buf.data() + i * kRawCrcBytes);
+  }
+  COCONUT_RETURN_IF_ERROR(file->Append(buf.data(), buf.size()));
+  COCONUT_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+/// Loads the sidecar, trimmed to whole records and to the raw file's series
+/// count (recovery may have truncated the raw file; the sidecar follows in
+/// lockstep here). Missing sidecar loads as empty.
+Status LoadTrimmedSidecar(const std::string& side_path, uint64_t count,
+                          std::vector<uint8_t>* side) {
+  side->clear();
+  if (!FileExists(side_path)) return Status::OK();
+  std::unique_ptr<RandomAccessFile> f;
+  COCONUT_RETURN_IF_ERROR(RandomAccessFile::Open(side_path, &f));
+  const uint64_t covered =
+      std::min<uint64_t>(f->size() / kRawCrcBytes, count);
+  const uint64_t keep = covered * kRawCrcBytes;
+  side->resize(keep);
+  if (keep > 0) COCONUT_RETURN_IF_ERROR(f->Read(0, keep, side->data()));
+  if (f->size() != keep) {
+    // Torn sidecar append or a recovery-truncated raw file: drop the tail
+    // so the next append lands record-aligned.
+    COCONUT_RETURN_IF_ERROR(TruncateFile(side_path, keep));
+  }
+  return Status::OK();
+}
+
+/// Verifies every raw series against the sidecar and backfills CRCs the
+/// sidecar is missing (legacy files, crash between raw append and sidecar
+/// append). A mismatch is Corruption naming the series and byte offset —
+/// the caller (ShardedStore) decides between failing the open and
+/// salvaging. Runs once per Open; the bulk load scans the same bytes anyway.
+Status VerifyOrRepairRawCrcs(const std::string& raw_path,
+                             size_t series_bytes) {
+  static Counter* verified =
+      MetricRegistry::Default().GetCounter("io.checksum.verified");
+  static Counter* failed =
+      MetricRegistry::Default().GetCounter("io.checksum.failed");
+  uint64_t raw_size = 0;
+  COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &raw_size));
+  const uint64_t count = raw_size / series_bytes;
+  const std::string side_path = RawSidecarPath(raw_path);
+  std::vector<uint8_t> side;
+  COCONUT_RETURN_IF_ERROR(LoadTrimmedSidecar(side_path, count, &side));
+  const uint64_t covered = side.size() / kRawCrcBytes;
+  if (count == 0) return Status::OK();
+
+  std::unique_ptr<RandomAccessFile> raw;
+  COCONUT_RETURN_IF_ERROR(RandomAccessFile::Open(raw_path, &raw));
+  const uint64_t chunk_series =
+      std::max<uint64_t>(1, (4u << 20) / series_bytes);
+  std::vector<uint8_t> buf;
+  std::vector<uint8_t> backfill;
+  for (uint64_t i = 0; i < count; i += chunk_series) {
+    const uint64_t n = std::min<uint64_t>(chunk_series, count - i);
+    buf.resize(n * series_bytes);
+    COCONUT_RETURN_IF_ERROR(
+        raw->Read(i * series_bytes, buf.size(), buf.data()));
+    for (uint64_t j = 0; j < n; ++j) {
+      const uint32_t crc =
+          crc32c::Value(buf.data() + j * series_bytes, series_bytes);
+      const uint64_t idx = i + j;
+      if (idx < covered) {
+        if (DecodeCrcLE(side.data() + idx * kRawCrcBytes) != crc) {
+          failed->Increment();
+          return Status::Corruption(
+              "raw checksum mismatch at series " + std::to_string(idx) +
+              " (byte offset " + std::to_string(idx * series_bytes) +
+              "): " + raw_path);
+        }
+      } else {
+        backfill.resize(backfill.size() + kRawCrcBytes);
+        EncodeCrcLE(crc, backfill.data() + backfill.size() - kRawCrcBytes);
+      }
+    }
+  }
+  verified->Add(covered);
+  if (!backfill.empty()) {
+    std::unique_ptr<WritableFile> f;
+    COCONUT_RETURN_IF_ERROR(WritableFile::OpenForAppend(side_path, &f));
+    COCONUT_RETURN_IF_ERROR(f->Append(backfill.data(), backfill.size()));
+    COCONUT_RETURN_IF_ERROR(f->Sync());
+    COCONUT_RETURN_IF_ERROR(f->Close());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CoconutForest::RunPath(uint64_t id) const {
@@ -182,6 +309,10 @@ Status CoconutForest::Open(const std::string& raw_path,
     COCONUT_RETURN_IF_ERROR(f->Close());
   }
   COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &forest->raw_bytes_));
+  // Integrity gate: every series the bulk load below would index must match
+  // its sidecar CRC (missing entries are backfilled — see the helper).
+  COCONUT_RETURN_IF_ERROR(VerifyOrRepairRawCrcs(
+      raw_path, options.tree.summary.series_length * sizeof(Value)));
   if (forest->raw_bytes_ > 0) {
     // Existing data becomes the first run (a plain bulk load).
     const std::string path = forest->RunPath(forest->next_run_id_++);
@@ -208,6 +339,7 @@ Status CoconutForest::InsertBatch(const std::vector<Series>& batch) {
   }
   MutexLock writer_lock(&writer_mu_);
   COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+  COCONUT_RETURN_IF_ERROR(AppendRawCrcs(raw_path_, batch));
   // The whole batch is on disk now; advance raw_bytes_ up front so it can
   // never desync from the file even if a flush below fails mid-batch (the
   // un-published tail is then orphaned bytes, not mis-addressed entries).
@@ -253,6 +385,7 @@ Status CoconutForest::StageBatch(const std::vector<Series>& batch,
   out->pre_raw_bytes = raw_bytes_;
   out->raw_bytes = batch.size() * n * sizeof(Value);
   COCONUT_RETURN_IF_ERROR(AppendToDataset(raw_path_, batch));
+  COCONUT_RETURN_IF_ERROR(AppendRawCrcs(raw_path_, batch));
   uint64_t offset = raw_bytes_;
   raw_bytes_ += out->raw_bytes;
   if (batch.size() > options_.memtable_series) {
@@ -346,6 +479,51 @@ Status CoconutForest::TruncateRawForRecovery(const std::string& raw_path,
   }
   if (size == target_bytes) return Status::OK();
   return TruncateFile(raw_path, target_bytes);
+}
+
+Status CoconutForest::SalvageRaw(const std::string& raw_path,
+                                 size_t series_bytes,
+                                 uint64_t* salvaged_bytes) {
+  *salvaged_bytes = 0;
+  if (!FileExists(raw_path)) return Status::OK();
+  uint64_t raw_size = 0;
+  COCONUT_RETURN_IF_ERROR(FileSize(raw_path, &raw_size));
+  const uint64_t count = raw_size / series_bytes;
+  const std::string side_path = RawSidecarPath(raw_path);
+  std::vector<uint8_t> side;
+  COCONUT_RETURN_IF_ERROR(LoadTrimmedSidecar(side_path, count, &side));
+  const uint64_t covered = side.size() / kRawCrcBytes;
+
+  // Longest prefix of whole series whose CRCs verify. Series beyond the
+  // sidecar's coverage are unverifiable (crash-window appends); they are
+  // kept only when everything before them verified, same trust rule as the
+  // Open-time backfill.
+  uint64_t keep = count;
+  if (count > 0) {
+    std::unique_ptr<RandomAccessFile> raw;
+    COCONUT_RETURN_IF_ERROR(RandomAccessFile::Open(raw_path, &raw));
+    std::vector<uint8_t> buf(series_bytes);
+    for (uint64_t i = 0; i < covered; ++i) {
+      COCONUT_RETURN_IF_ERROR(
+          raw->Read(i * series_bytes, series_bytes, buf.data()));
+      if (crc32c::Value(buf.data(), series_bytes) !=
+          DecodeCrcLE(side.data() + i * kRawCrcBytes)) {
+        keep = i;
+        break;
+      }
+    }
+  }
+  *salvaged_bytes = keep * series_bytes;
+  if (*salvaged_bytes < raw_size) {
+    COCONUT_RETURN_IF_ERROR(TruncateFile(raw_path, *salvaged_bytes));
+  }
+  if (FileExists(side_path)) {
+    const uint64_t side_keep = std::min<uint64_t>(covered, keep) * kRawCrcBytes;
+    if (side_keep < side.size()) {
+      COCONUT_RETURN_IF_ERROR(TruncateFile(side_path, side_keep));
+    }
+  }
+  return Status::OK();
 }
 
 uint64_t CoconutForest::raw_size() const {

@@ -90,6 +90,13 @@ class CoconutForest {
   /// Creates a forest over the dataset at `raw_path` (which may be empty or
   /// already populated — existing series are bulk-loaded as the first run).
   /// Run files are stored under `dir`.
+  ///
+  /// Integrity: the raw file carries a checksum sidecar (`<raw_path>.crc`,
+  /// one little-endian CRC32C per series) maintained in lockstep with every
+  /// append. Open verifies the whole file against it before bulk-loading
+  /// and fails with Corruption (naming series index and byte offset) on a
+  /// mismatch; missing or short sidecars are backfilled, not rejected, so
+  /// legacy datasets and crash-window appends keep working.
   static Status Open(const std::string& raw_path, const std::string& dir,
                      const ForestOptions& options,
                      std::unique_ptr<CoconutForest>* out);
@@ -153,6 +160,15 @@ class CoconutForest {
   /// corruption, not a torn tail.
   static Status TruncateRawForRecovery(const std::string& raw_path,
                                        uint64_t target_bytes);
+
+  /// Salvage hook for degraded-mode reopen: truncates `raw_path` (and its
+  /// checksum sidecar, in lockstep) back to the longest prefix of whole
+  /// series whose sidecar CRCs verify, and reports the resulting raw size.
+  /// Series past the sidecar's coverage are kept only when every covered
+  /// series before them verified. Never grows the file; a missing raw file
+  /// salvages to 0 bytes.
+  static Status SalvageRaw(const std::string& raw_path, size_t series_bytes,
+                           uint64_t* salvaged_bytes);
 
   /// Current raw dataset file size in bytes (writer-synchronized; this is
   /// the pre-append size the store journals before staging a sub-batch).

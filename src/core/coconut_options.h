@@ -90,6 +90,11 @@ struct SearchResult {
   uint64_t leaves_read = 0;
   /// k nearest answers, ascending by distance (size <= requested k).
   std::vector<Neighbor> neighbors;
+  /// True when the answer was computed over a partial view — some shard of
+  /// a sharded store was quarantined after a checksum failure and skipped.
+  /// The neighbors are exact over the healthy shards, but a better answer
+  /// may exist in the quarantined data.
+  bool degraded = false;
 };
 
 }  // namespace coconut

@@ -9,8 +9,10 @@
 #include <limits>
 #include <numeric>
 
+#include "src/common/crc32c.h"
 #include "src/common/env.h"
 #include "src/common/timer.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/core/knn.h"
 #include "src/core/sims_common.h"
@@ -22,6 +24,28 @@
 #include "src/summary/sax.h"
 
 namespace coconut {
+
+namespace {
+
+Counter* ChecksumVerifiedCounter() {
+  static Counter* c =
+      MetricRegistry::Default().GetCounter("io.checksum.verified");
+  return c;
+}
+
+Counter* ChecksumFailedCounter() {
+  static Counter* c =
+      MetricRegistry::Default().GetCounter("io.checksum.failed");
+  return c;
+}
+
+uint32_t DecodeCrc32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
 
 Status CoconutTree::Open(const std::string& index_path,
                          const std::string& raw_path,
@@ -36,6 +60,33 @@ Status CoconutTree::Open(const std::string& index_path,
       tree->index_file_->Read(0, kSuperblockBytes, sb.data()));
   std::memcpy(&tree->super_, sb.data(), sizeof(TreeSuperblock));
   COCONUT_RETURN_IF_ERROR(tree->super_.Check());
+  if (tree->super_.has_checksums()) {
+    TreeSuperblock clean = tree->super_;
+    clean.superblock_crc = 0;
+    if (crc32c::Value(&clean, sizeof(clean)) != tree->super_.superblock_crc) {
+      ChecksumFailedCounter()->Increment();
+      return Status::Corruption("tree superblock checksum mismatch: " +
+                                index_path);
+    }
+    ChecksumVerifiedCounter()->Increment();
+    // Load the integrity section: one CRC per leaf page, then the
+    // internal-region CRC (LoadInternalLevels below verifies against it).
+    const uint64_t n = tree->super_.num_leaves;
+    const uint64_t need = (n + 1) * 4;
+    if (tree->super_.integrity_offset < kSuperblockBytes ||
+        tree->super_.integrity_offset + need > tree->index_file_->size()) {
+      return Status::Corruption("tree integrity section out of range: " +
+                                index_path);
+    }
+    std::vector<uint8_t> crcs(need);
+    COCONUT_RETURN_IF_ERROR(tree->index_file_->Read(
+        tree->super_.integrity_offset, need, crcs.data()));
+    tree->leaf_crcs_.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      tree->leaf_crcs_[i] = DecodeCrc32LE(crcs.data() + i * 4);
+    }
+    tree->internal_crc_ = DecodeCrc32LE(crcs.data() + n * 4);
+  }
 
   tree->options_.summary.series_length = tree->super_.series_length;
   tree->options_.summary.segments = tree->super_.segments;
@@ -63,6 +114,9 @@ Status CoconutTree::LoadInternalLevels() {
   levels_.clear();
   levels_.resize(super_.num_internal_levels);
   std::vector<uint8_t> page(kInternalPageBytes);
+  // Pages are read in the builder's write order, so one running CRC over
+  // them reproduces the internal-region CRC of the integrity section.
+  uint32_t crc = 0;
   for (size_t lvl = 0; lvl < super_.num_internal_levels; ++lvl) {
     InternalLevel& level = levels_[lvl];
     for (uint64_t p = 0; p < super_.level_page_count[lvl]; ++p) {
@@ -70,6 +124,7 @@ Status CoconutTree::LoadInternalLevels() {
           super_.level_file_offset[lvl] + p * kInternalPageBytes;
       COCONUT_RETURN_IF_ERROR(
           index_file_->Read(off, kInternalPageBytes, page.data()));
+      crc = crc32c::Extend(crc, page.data(), page.size());
       uint64_t cnt;
       std::memcpy(&cnt, page.data(), 8);
       if (cnt > kInternalFanout) {
@@ -83,6 +138,14 @@ Status CoconutTree::LoadInternalLevels() {
         level.children.push_back(child);
       }
     }
+  }
+  if (super_.has_checksums()) {
+    if (crc != internal_crc_) {
+      ChecksumFailedCounter()->Increment();
+      return Status::Corruption("tree internal-level checksum mismatch: " +
+                                index_path_);
+    }
+    ChecksumVerifiedCounter()->Increment();
   }
   return Status::OK();
 }
@@ -122,6 +185,15 @@ Status CoconutTree::ReadLeafPage(uint64_t leaf, std::vector<uint8_t>* page,
   const uint64_t off = kSuperblockBytes + leaf * super_.leaf_page_bytes;
   COCONUT_RETURN_IF_ERROR(
       index_file_->Read(off, super_.leaf_page_bytes, page->data()));
+  if (super_.has_checksums()) {
+    // The page was read whole anyway; the CRC pass is cache-resident work.
+    if (crc32c::Value(page->data(), page->size()) != leaf_crcs_[leaf]) {
+      ChecksumFailedCounter()->Increment();
+      return Status::Corruption("leaf page checksum mismatch at leaf " +
+                                std::to_string(leaf) + ": " + index_path_);
+    }
+    ChecksumVerifiedCounter()->Increment();
+  }
   const uint64_t epl = super_.entries_per_leaf;
   *entry_count = (leaf + 1 == super_.num_leaves)
                      ? static_cast<size_t>(super_.num_entries - leaf * epl)
@@ -235,15 +307,27 @@ Status CoconutTree::EnsureSimsLoaded() const {
   const size_t chunk_recs =
       std::max<size_t>(1, (4u << 20) / rec_bytes);  // ~4 MiB per read
   std::vector<uint8_t> buf(chunk_recs * rec_bytes);
+  uint32_t crc = 0;
   for (uint64_t base = 0; base < n; base += chunk_recs) {
     const uint64_t m = std::min<uint64_t>(chunk_recs, n - base);
     COCONUT_RETURN_IF_ERROR(
         sidecar_file_->Read(base * rec_bytes, m * rec_bytes, buf.data()));
+    crc = crc32c::Extend(crc, buf.data(), m * rec_bytes);
     for (uint64_t i = 0; i < m; ++i) {
       const uint8_t* rec = buf.data() + i * rec_bytes;
       std::memcpy(sims_sax_.data() + (base + i) * w, rec, w);
       std::memcpy(&sims_offsets_[base + i], rec + w, 8);
     }
+  }
+  if (super_.has_checksums()) {
+    if (crc != super_.sidecar_crc) {
+      ChecksumFailedCounter()->Increment();
+      sims_sax_.clear();
+      sims_offsets_.clear();
+      return Status::Corruption("sidecar checksum mismatch: " + index_path_ +
+                                ".sax");
+    }
+    ChecksumVerifiedCounter()->Increment();
   }
   sims_loaded_.store(true, std::memory_order_release);
   return Status::OK();
@@ -496,6 +580,8 @@ Status CoconutTree::MergeBatch(const std::vector<Series>& batch) {
   sidecar_file_ = std::move(reopened->sidecar_file_);
   raw_file_ = std::move(reopened->raw_file_);
   levels_ = std::move(reopened->levels_);
+  leaf_crcs_ = std::move(reopened->leaf_crcs_);
+  internal_crc_ = reopened->internal_crc_;
   sims_loaded_.store(false, std::memory_order_release);
   sims_sax_.clear();
   sims_offsets_.clear();

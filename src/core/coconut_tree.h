@@ -162,6 +162,12 @@ class CoconutTree {
   // levels_[0] is the level directly above the leaves; back() is the root.
   std::vector<InternalLevel> levels_;
 
+  // v2 integrity section, loaded at Open: expected CRC32C of each on-disk
+  // leaf page (verified by every ReadLeafPage) and of the internal region
+  // (verified while loading it). Empty/zero for v1 files.
+  std::vector<uint32_t> leaf_crcs_;
+  uint32_t internal_crc_ = 0;
+
   // SIMS in-memory arrays (leaf order), loaded lazily from the sidecar on
   // first exact query. Immutable once sims_loaded_ is set (release-store
   // after the arrays are filled; acquire-load fast path keeps the steady

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/common/crc32c.h"
 #include "src/common/env.h"
 #include "src/common/timer.h"
 #include "src/core/coconut_tree.h"
@@ -25,13 +26,22 @@ namespace {
 /// extra information (paper §4.1: the transform is invertible).
 Status AppendSidecarRecord(const uint8_t* entry, const CoconutOptions& opts,
                            std::vector<uint8_t>* scratch,
-                           BufferedWriter* sidecar) {
+                           BufferedWriter* sidecar, uint32_t* sidecar_crc) {
   const ZKey key = DecodeLeafEntryKey(entry);
   scratch->resize(opts.summary.segments + 8);
   SaxFromInvSax(key, opts.summary, scratch->data());
   const uint64_t offset = DecodeLeafEntryOffset(entry);
   std::memcpy(scratch->data() + opts.summary.segments, &offset, 8);
+  *sidecar_crc = crc32c::Extend(*sidecar_crc, scratch->data(),
+                                scratch->size());
   return sidecar->Write(scratch->data(), scratch->size());
+}
+
+void AppendCrcLE(uint32_t crc, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(crc));
+  out->push_back(static_cast<uint8_t>(crc >> 8));
+  out->push_back(static_cast<uint8_t>(crc >> 16));
+  out->push_back(static_cast<uint8_t>(crc >> 24));
 }
 
 }  // namespace
@@ -77,6 +87,11 @@ Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
   std::vector<uint8_t> page(leaf_page_bytes, 0);
   std::vector<uint8_t> record(entry_bytes);
   std::vector<uint8_t> scratch;
+  // v2 integrity accumulators: one CRC per on-disk leaf page (zero padding
+  // included), one over the .sax sidecar, one over the internal region.
+  std::vector<uint8_t> leaf_crcs;
+  leaf_crcs.reserve(static_cast<size_t>(num_leaves) * 4);
+  uint32_t sidecar_crc = 0;
   uint64_t emitted = 0;
   size_t in_page = 0;
   Status st;
@@ -87,18 +102,21 @@ Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
     }
     std::memcpy(page.data() + in_page * entry_bytes, record.data(),
                 entry_bytes);
-    COCONUT_RETURN_IF_ERROR(
-        AppendSidecarRecord(record.data(), options, &scratch, &sidecar));
+    COCONUT_RETURN_IF_ERROR(AppendSidecarRecord(record.data(), options,
+                                                &scratch, &sidecar,
+                                                &sidecar_crc));
     ++in_page;
     ++emitted;
     if (in_page == epl) {
       COCONUT_RETURN_IF_ERROR(file->Append(page.data(), page.size()));
+      AppendCrcLE(crc32c::Value(page.data(), page.size()), &leaf_crcs);
       in_page = 0;
     }
   }
   COCONUT_RETURN_IF_ERROR(st);
   if (in_page > 0) {
     COCONUT_RETURN_IF_ERROR(file->Append(page.data(), page.size()));
+    AppendCrcLE(crc32c::Value(page.data(), page.size()), &leaf_crcs);
   }
   if (emitted != count) {
     return Status::Internal("sorted stream count mismatch");
@@ -107,6 +125,7 @@ Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
 
   // --- Build internal levels bottom-up from the collected first keys. ---
   std::vector<ZKey> level_keys = std::move(leaf_first_keys);
+  uint32_t internal_crc = 0;
   size_t level = 0;
   while (level_keys.size() > 1) {
     if (level >= kMaxLevels) {
@@ -133,6 +152,7 @@ Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
         std::memcpy(slot + ZKey::kBytes, &child, 8);
       }
       COCONUT_RETURN_IF_ERROR(file->Append(ipage.data(), ipage.size()));
+      internal_crc = crc32c::Extend(internal_crc, ipage.data(), ipage.size());
       next_keys.push_back(level_keys[begin]);
     }
     level_keys.swap(next_keys);
@@ -140,7 +160,17 @@ Status CoconutTreeBuilder::BulkLoad(SortedRecordStream* stream,
   }
   super.num_internal_levels = level;
 
+  // --- Integrity section: per-leaf-page CRCs, then the internal-region
+  // CRC. Written before the superblock is stamped, so a crash mid-build
+  // leaves a file whose superblock (all zeroes) fails the magic check. ---
+  super.integrity_offset = file->size();
+  AppendCrcLE(internal_crc, &leaf_crcs);
+  COCONUT_RETURN_IF_ERROR(file->Append(leaf_crcs.data(), leaf_crcs.size()));
+  super.sidecar_crc = sidecar_crc;
+
   // --- Rewrite the superblock with the final metadata. ---
+  super.superblock_crc = 0;
+  super.superblock_crc = crc32c::Value(&super, sizeof(super));
   std::vector<uint8_t> sb(kSuperblockBytes, 0);
   std::memcpy(sb.data(), &super, sizeof(super));
   COCONUT_RETURN_IF_ERROR(file->WriteAt(0, sb.data(), sb.size()));

@@ -18,6 +18,16 @@
 // ids index into the level below (leaf index at the bottom internal level).
 // All internal levels are loaded into memory on open (paper §3.1: "the
 // index's internal nodes for most applications fit in main memory").
+//
+// Version 2 appends an integrity section after the internal levels (at
+// integrity_offset):
+//   [leaf-page CRC32C: 4 bytes LE, one per leaf][internal-region CRC32C: 4]
+// plus three superblock fields: integrity_offset, sidecar_crc (CRC32C of
+// the whole .sax sidecar) and superblock_crc (CRC32C of the superblock
+// struct with that field zeroed, stamped last). Readers verify the
+// superblock on open, the internal region while loading it, each leaf page
+// on read, and the sidecar when it is first materialized. Version 1 files
+// (no checksums) still open.
 #ifndef COCONUT_CORE_TREE_FORMAT_H_
 #define COCONUT_CORE_TREE_FORMAT_H_
 
@@ -42,7 +52,7 @@ inline constexpr size_t kMaxLevels = 10;
 /// the 4 KiB superblock page.
 struct TreeSuperblock {
   uint64_t magic = kTreeMagic;
-  uint64_t version = 1;
+  uint64_t version = 2;
   uint64_t materialized = 0;
   uint64_t series_length = 0;
   uint64_t segments = 0;
@@ -56,12 +66,22 @@ struct TreeSuperblock {
   uint64_t num_internal_levels = 0;
   uint64_t level_file_offset[kMaxLevels] = {};
   uint64_t level_page_count[kMaxLevels] = {};
+  /// v2: file offset of the integrity section (0 in v1 files).
+  uint64_t integrity_offset = 0;
+  /// v2: CRC32C of the entire .sax sidecar file.
+  uint32_t sidecar_crc = 0;
+  /// v2: CRC32C of this struct with this field zeroed. Stamped last.
+  uint32_t superblock_crc = 0;
 
   Status Check() const {
     if (magic != kTreeMagic) return Status::Corruption("bad tree magic");
-    if (version != 1) return Status::Corruption("unsupported tree version");
+    if (version != 1 && version != 2) {
+      return Status::Corruption("unsupported tree version");
+    }
     return Status::OK();
   }
+
+  bool has_checksums() const { return version >= 2; }
 };
 static_assert(sizeof(TreeSuperblock) <= kSuperblockBytes);
 static_assert(std::is_trivially_copyable_v<TreeSuperblock>);

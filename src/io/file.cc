@@ -6,7 +6,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
+#include "src/common/env.h"
+#include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
 #include "src/io/io_stats.h"
 
 namespace coconut {
@@ -23,6 +27,7 @@ RandomAccessFile::~RandomAccessFile() {
 
 Status RandomAccessFile::Open(const std::string& path,
                               std::unique_ptr<RandomAccessFile>* out) {
+  FAILPOINT("io.file.open");
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
   struct stat st;
@@ -35,6 +40,7 @@ Status RandomAccessFile::Open(const std::string& path,
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, void* buf) {
+  FAILPOINT_ARG("io.file.read", n);
   // Classification is best-effort under concurrency: the tracker holds the
   // end offset of whichever read on this handle updated it last.
   const bool random =
@@ -66,6 +72,7 @@ WritableFile::~WritableFile() {
 
 Status WritableFile::Create(const std::string& path,
                             std::unique_ptr<WritableFile>* out) {
+  FAILPOINT("io.file.open");
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("create", path));
   out->reset(new WritableFile(path, fd));
@@ -93,9 +100,25 @@ Status WritableFile::Append(const void* data, size_t n) {
 }
 
 Status WritableFile::WriteAt(uint64_t offset, const void* data, size_t n) {
-  const bool random = (offset != append_offset_);
+  // Every write in the process funnels through here, so this one failpoint
+  // gives all subsystems injected I/O errors, torn writes (a prefix is
+  // persisted, then the write reports failure — a crashed sector), and
+  // silent single-bit flips (persisted "successfully" — latent media
+  // corruption for the checksum layer to catch).
+  Failpoints::WriteFault fault;
+  COCONUT_RETURN_IF_ERROR(
+      Failpoints::Default().HitWrite("io.file.write", n, &fault));
   const uint8_t* src = static_cast<const uint8_t*>(data);
-  size_t remaining = n;
+  std::vector<uint8_t> flipped;
+  if (fault.bit_flip && n > 0) {
+    flipped.assign(src, src + n);
+    flipped[fault.flip_index / 8] ^=
+        static_cast<uint8_t>(1u << (fault.flip_index % 8));
+    src = flipped.data();
+  }
+  const size_t target = fault.torn ? fault.torn_bytes : n;
+  const bool random = (offset != append_offset_);
+  size_t remaining = target;
   uint64_t pos = offset;
   while (remaining > 0) {
     ssize_t w = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
@@ -107,14 +130,30 @@ Status WritableFile::WriteAt(uint64_t offset, const void* data, size_t n) {
     pos += static_cast<uint64_t>(w);
     remaining -= static_cast<size_t>(w);
   }
+  if (fault.torn) {
+    if (offset + target > append_offset_) append_offset_ = offset + target;
+    return Status::IOError("failpoint: io.file.write (torn after " +
+                           std::to_string(target) + " of " +
+                           std::to_string(n) + " bytes to " + path_ + ")");
+  }
   if (offset + n > append_offset_) append_offset_ = offset + n;
   IoStats::Instance().RecordWrite(n, random);
   return Status::OK();
 }
 
 Status WritableFile::Sync() {
-  // fdatasync would dominate laptop-scale benches; durability is not part of
-  // the reproduced claims, so Sync is a no-op beyond the write() calls.
+  FAILPOINT("io.file.sync");
+  // Without the opt-in, Sync marks where the durability barriers belong but
+  // issues nothing — real fdatasync would dominate laptop-scale benches and
+  // durability is not among the reproduced claims (src/store/README.md,
+  // "Durability scope").
+  if (!SyncOnCommitEnabled()) return Status::OK();
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync", path_));
+  }
+  static Counter* syncs =
+      MetricRegistry::Default().GetCounter("io.sync.fdatasync");
+  syncs->Increment();
   return Status::OK();
 }
 

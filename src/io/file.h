@@ -71,7 +71,9 @@ class WritableFile {
   /// offset happens to be the current append position).
   Status WriteAt(uint64_t offset, const void* data, size_t n);
 
-  /// Flushes to the OS (no fsync; durability is out of scope).
+  /// Durability barrier. By default flushes to the OS only (no fsync); with
+  /// the opt-in (COCONUT_SYNC=1 / SetSyncOnCommit) it issues a real
+  /// fdatasync. See src/store/README.md, "Durability scope".
   Status Sync();
 
   Status Close();

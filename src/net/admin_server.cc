@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/common/crc32c.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slow_query_log.h"
@@ -118,6 +119,30 @@ std::string StatuszJson(uint64_t start_ns) {
   out += buf;
   out += ",\"tracing_active\":";
   out += Tracer::Default().active() ? "true" : "false";
+  // Data-integrity summary (the checksum counters live in the registry,
+  // but operators asking "is this store healthy?" should not have to know
+  // the metric names).
+  MetricRegistry& reg = MetricRegistry::Default();
+  out += ",\"integrity\":{\"crc32c_backend\":\"";
+  out += crc32c::BackendName();
+  out += "\"";
+  std::snprintf(buf, sizeof(buf), ",\"checksums_verified\":%llu",
+                static_cast<unsigned long long>(
+                    reg.GetCounter("io.checksum.verified")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"checksums_failed\":%llu",
+                static_cast<unsigned long long>(
+                    reg.GetCounter("io.checksum.failed")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"shards_quarantined\":%lld",
+                static_cast<long long>(
+                    reg.GetGauge("store.shard.quarantined")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"journal_checkpoints\":%llu",
+                static_cast<unsigned long long>(
+                    reg.GetCounter("store.journal.checkpoints")->Value()));
+  out += buf;
+  out += "}";
   out += ",\"gauges\":{";
   const RegistrySnapshot snap = MetricRegistry::Default().Snapshot();
   bool first = true;
@@ -196,9 +221,25 @@ void AdminServer::Stop() {
   }
 }
 
-void AdminServer::SetHealthCheck(HealthCheck check) {
+void AdminServer::SetHealthProbe(HealthProbe probe) {
   MutexLock lock(&health_mu_);
-  health_ = std::move(check);
+  health_ = std::move(probe);
+}
+
+void AdminServer::SetHealthCheck(HealthCheck check) {
+  if (!check) {
+    SetHealthProbe(nullptr);
+    return;
+  }
+  SetHealthProbe([check = std::move(check)]() {
+    HealthStatus h;
+    const Status s = check();
+    if (!s.ok()) {
+      h.state = HealthStatus::State::kUnavailable;
+      h.detail = s.ToString();
+    }
+    return h;
+  });
 }
 
 void AdminServer::ServeLoop(int listen_fd) {
@@ -304,17 +345,25 @@ AdminServer::Response AdminServer::Handle(const std::string& method,
     resp.content_type = "application/json";
     resp.body = MetricRegistry::Default().ToJson();
   } else if (path == "/healthz") {
-    HealthCheck check;
+    HealthProbe probe;
     {
       MutexLock lock(&health_mu_);
-      check = health_;
+      probe = health_;
     }
-    const Status s = check ? check() : Status::OK();
-    if (s.ok()) {
-      resp.body = "ok\n";
-    } else {
-      resp.status = 503;
-      resp.body = s.ToString() + "\n";
+    const HealthStatus h = probe ? probe() : HealthStatus{};
+    switch (h.state) {
+      case HealthStatus::State::kOk:
+        resp.body = "ok\n";
+        break;
+      case HealthStatus::State::kDegraded:
+        // Still 200: the engine answers queries, just over a partial view.
+        // Load balancers keep routing; operators read the detail.
+        resp.body = "degraded: " + h.detail + "\n";
+        break;
+      case HealthStatus::State::kUnavailable:
+        resp.status = 503;
+        resp.body = h.detail + "\n";
+        break;
     }
   } else if (path == "/statusz") {
     resp.content_type = "application/json";

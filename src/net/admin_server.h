@@ -14,11 +14,17 @@
 //   /metrics                 Prometheus text exposition of the default
 //                            metric registry
 //   /metrics.json            the same snapshot as JSON
-//   /healthz                 "ok\n" with 200, or the failure string with
-//                            503 when the registered health check fails
+//   /healthz                 "ok\n" with 200; "degraded: <detail>\n" with
+//                            200 when the health probe reports degraded
+//                            (serving, but over a partial view — e.g. a
+//                            quarantined shard); the failure string with
+//                            503 when it reports unavailable
 //   /statusz                 build/runtime facts: build type, compiler,
 //                            SIMD kernel backend, uptime, thread-pool
-//                            size, current gauge values
+//                            size, data-integrity summary (CRC32C backend,
+//                            checksums verified/failed, quarantined
+//                            shards, journal checkpoints), current gauge
+//                            values
 //   /queryz                  slow-query log (recent + over-threshold
 //                            rings) as JSON
 //   /tracez?duration_ms=N    records a live trace window of N ms
@@ -65,9 +71,25 @@ class AdminServer {
   /// The bound port (resolves the ephemeral port after Start(0)).
   uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
-  /// Health probe backing /healthz: OK -> 200, non-OK -> 503 with the
-  /// status text in the body. Unset means always healthy. Typically wired
-  /// to ShardedStore::WriteHealth.
+  /// Tri-state health reported by the probe backing /healthz.
+  struct HealthStatus {
+    enum class State {
+      kOk,           // 200 "ok"
+      kDegraded,     // 200 "degraded: <detail>" — serving a partial view
+      kUnavailable,  // 503 "<detail>"
+    };
+    State state = State::kOk;
+    std::string detail;
+  };
+
+  /// Health probe backing /healthz. Unset means always healthy. Typically
+  /// wired to ShardedStore: WriteHealth poison -> kUnavailable, quarantined
+  /// shards -> kDegraded (reads still answer over the healthy shards).
+  using HealthProbe = std::function<HealthStatus()>;
+  void SetHealthProbe(HealthProbe probe);
+
+  /// Binary convenience wrapper over SetHealthProbe: OK -> kOk, non-OK ->
+  /// kUnavailable with the status text as detail.
   using HealthCheck = std::function<Status()>;
   void SetHealthCheck(HealthCheck check);
 
@@ -107,7 +129,7 @@ class AdminServer {
   std::atomic<uint64_t> start_ns_{0};  // Tracer::NowNanos() at Start
 
   mutable Mutex health_mu_;
-  HealthCheck health_ GUARDED_BY(health_mu_);
+  HealthProbe health_ GUARDED_BY(health_mu_);
 };
 
 }  // namespace coconut

@@ -24,22 +24,29 @@
 // epoch floor, bounding its size and the reopen replay.
 //
 // Durability scope: "synced" below means the protocol calls Sync at the
-// right barriers, but WritableFile::Sync is deliberately a no-op in this
-// codebase (durability is outside the reproduced claims) — the guarantees
-// hold for process crashes, not power loss. See src/store/README.md.
+// right barriers; by default that is a no-op and the guarantees hold for
+// process crashes, not power loss — real fdatasync is behind the
+// COCONUT_SYNC=1 / SetSyncOnCommit opt-in. See src/store/README.md.
 //
 // Format (line-oriented text; the header is written atomically via
 // tmp+rename by `Reset`, records are appended):
 //
 //   coconut-store-journal v1
-//   begin <epoch> <nslices> <shard>:<pre_raw_bytes>:<count> ...
-//   commit <epoch>
+//   begin <epoch> <nslices> <shard>:<pre_raw_bytes>:<count> ... crc:<8hex>
+//   commit <epoch> crc:<8hex>
+//
+// The trailing token is the CRC32C of the record line up to (not including)
+// the token's separating space. Scan verifies it when present (a record
+// without one still parses, so legacy journals and hand-written test lines
+// remain valid) and treats a mismatch as a malformed line.
 //
 // A crash can tear the final appended line, so `Scan` ignores a malformed
 // LAST line (the record it belonged to simply never happened — exactly the
-// WAL torn-tail rule). A malformed interior line is real corruption and is
-// reported as such. Epochs must be strictly increasing and a `commit` must
-// match an open `begin`.
+// WAL torn-tail rule); that includes a final line whose CRC does not match,
+// which is indistinguishable from a torn append. A malformed interior line
+// is real corruption — a bit flip anywhere inside an interior record fails
+// its CRC — and is reported as such. Epochs must be strictly increasing and
+// a `commit` must match an open `begin`.
 #ifndef COCONUT_STORE_JOURNAL_H_
 #define COCONUT_STORE_JOURNAL_H_
 
@@ -98,11 +105,15 @@ class CommitJournal {
   /// Appends (and syncs) the commit record of `epoch`.
   Status AppendCommit(uint64_t epoch);
 
+  /// Current journal size in bytes (drives size-triggered checkpointing).
+  uint64_t size() const { return file_->size(); }
+
  private:
   explicit CommitJournal(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
 
-  Status AppendRecord(const std::string& line);
+  /// Frames `body` (no trailing newline) with its CRC token and appends.
+  Status AppendRecord(const std::string& body);
 
   std::unique_ptr<WritableFile> file_;
 };

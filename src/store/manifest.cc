@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "src/common/crc32c.h"
 #include "src/common/env.h"
 #include "src/io/file.h"
+#include "src/obs/metrics.h"
 
 namespace coconut {
 
@@ -82,7 +84,11 @@ Status WriteStoreManifest(const std::string& store_dir,
     text << "shard " << i << " " << s.lower_bound.ToHex() << " " << s.dir
          << " " << s.entries << "\n";
   }
-  const std::string body = text.str();
+  std::string body = text.str();
+  // Trailer line: CRC32C of every byte above it. Must stay the last line —
+  // the parser rejects directives after it.
+  body += "checksum " + crc32c::ToHex(crc32c::Value(body.data(), body.size())) +
+          "\n";
 
   const std::string final_path = JoinPath(store_dir, kStoreManifestName);
   const std::string tmp_path = final_path + ".tmp";
@@ -113,8 +119,19 @@ Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out) {
   bool have_series_length = false;
   bool have_epoch = false;
   bool have_shards = false;
+  bool have_checksum = false;
+  // Byte offset of the line about to be parsed — the checksum trailer covers
+  // [0, line_start) of the raw file.
+  size_t line_start = 0;
+  size_t next_line_start = line.size() + 1;  // header + '\n'
   while (std::getline(lines, line)) {
+    line_start = next_line_start;
+    next_line_start += line.size() + 1;
     if (line.empty() || line[0] == '#') continue;
+    if (have_checksum) {
+      return Status::Corruption("manifest: checksum line must be last: " +
+                                line);
+    }
     std::istringstream fields(line);
     std::string tag;
     fields >> tag;
@@ -148,6 +165,23 @@ Status ReadStoreManifest(const std::string& store_dir, StoreManifest* out) {
       }
       COCONUT_RETURN_IF_ERROR(KeyFromHex(hex, &info.lower_bound));
       manifest.shards.push_back(std::move(info));
+    } else if (tag == "checksum") {
+      static Counter* verified =
+          MetricRegistry::Default().GetCounter("io.checksum.verified");
+      static Counter* failed =
+          MetricRegistry::Default().GetCounter("io.checksum.failed");
+      std::string hex;
+      uint32_t want = 0;
+      fields >> hex;
+      if (fields.fail() || !crc32c::FromHex(hex, &want)) {
+        return Status::Corruption("manifest: bad checksum token: " + line);
+      }
+      if (crc32c::Value(body.data(), line_start) != want) {
+        failed->Increment();
+        return Status::Corruption("manifest: checksum mismatch in " + path);
+      }
+      verified->Increment();
+      have_checksum = true;
     } else {
       return Status::Corruption("manifest: unknown directive: " + tag);
     }

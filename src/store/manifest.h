@@ -23,6 +23,13 @@
 //   shards <N>
 //   shard <i> <lower-bound: 64 hex chars> <dir> <entries>
 //   ...
+//   checksum <8 hex chars>
+//
+// The trailer is the CRC32C of every byte above it; the writer always emits
+// it and the reader verifies it when present (manifests written before the
+// trailer existed still parse) and requires it to be the final line. A bit
+// flip anywhere in the file therefore fails the reopen instead of silently
+// repartitioning the key space.
 //
 // Parsing is strict: every directive must be well-formed with no trailing
 // tokens, `series_length` and `shards` must appear exactly once (and

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "src/common/env.h"
+#include "src/common/failpoint.h"
 #include "src/core/knn.h"
 #include "src/io/io_stats.h"
+#include "src/obs/metrics.h"
 #include "src/obs/stage_timer.h"
 #include "src/obs/trace.h"
 #include "src/summary/invsax.h"
@@ -196,13 +198,59 @@ Status ShardedStore::Open(const std::string& dir, const StoreOptions& options,
   // Open every shard forest. Each forest recovers its run state from the
   // shard's raw dataset file (the write-ahead source of truth), so no run
   // bookkeeping in the manifest is needed for crash recovery.
-  for (const ShardInfo& info : store->manifest_.shards) {
+  {
+    MutexLock quarantine_lock(&store->quarantine_mu_);
+    store->quarantined_.assign(store->manifest_.shards.size(), false);
+    store->quarantine_causes_.assign(store->manifest_.shards.size(), "");
+  }
+  for (size_t i = 0; i < store->manifest_.shards.size(); ++i) {
+    const ShardInfo& info = store->manifest_.shards[i];
     const std::string shard_dir = JoinPath(dir, info.dir);
     COCONUT_RETURN_IF_ERROR(MakeDirs(shard_dir));
     store->raw_paths_.push_back(JoinPath(shard_dir, "raw.bin"));
     std::unique_ptr<CoconutForest> forest;
-    COCONUT_RETURN_IF_ERROR(CoconutForest::Open(
-        store->raw_paths_.back(), shard_dir, options.forest, &forest));
+    Status st = CoconutForest::Open(store->raw_paths_.back(), shard_dir,
+                                    options.forest, &forest);
+    if (st.code() == Status::Code::kCorruption) {
+      // Per-shard salvage: truncate the raw file back to its longest
+      // checksum-valid prefix and retry once. Everything dropped either
+      // failed its CRC or sits behind a series that did, so nothing
+      // servable is lost. A salvage error is folded into the quarantine
+      // cause, not returned — the healthy shards must still come up.
+      uint64_t salvaged_bytes = 0;
+      const Status salvage = CoconutForest::SalvageRaw(
+          store->raw_paths_.back(), series_length * sizeof(Value),
+          &salvaged_bytes);
+      // The manifest's per-shard entry count is a committed floor (every
+      // committed series occupies series_bytes of raw file). A salvage
+      // that kept less than the floor lost COMMITTED data; serving the
+      // prefix would silently hide it, so the shard quarantines instead.
+      const uint64_t floor_bytes =
+          info.entries * uint64_t{series_length} * sizeof(Value);
+      if (!salvage.ok()) {
+        st = salvage;
+      } else if (salvaged_bytes < floor_bytes) {
+        st = Status::Corruption(
+            st.ToString() + "; salvage kept " +
+            std::to_string(salvaged_bytes) +
+            " bytes, below the committed floor of " +
+            std::to_string(floor_bytes));
+      } else {
+        forest.reset();
+        st = CoconutForest::Open(store->raw_paths_.back(), shard_dir,
+                                 options.forest, &forest);
+      }
+    }
+    if (!st.ok()) {
+      if (st.code() != Status::Code::kCorruption) return TagShard(i, st);
+      // Corruption that salvage could not clear: quarantine the shard
+      // instead of poisoning the whole store. Reads continue (degraded)
+      // over the healthy shards; writes are refused until the operator
+      // repairs the shard and reopens.
+      store->QuarantineShard(i, st);
+      store->shards_.push_back(nullptr);
+      continue;
+    }
     store->shards_.push_back(std::move(forest));
   }
   *out = std::move(store);
@@ -229,11 +277,6 @@ size_t ShardedStore::ShardForSeries(const Series& series) const {
       InvSaxFromSeries(series.data(), options_.forest.tree.summary));
 }
 
-Status ShardedStore::Fault(CommitPoint point, size_t shard) const {
-  if (!options_.commit_fault_hook) return Status::OK();
-  return options_.commit_fault_hook(point, shard);
-}
-
 Status ShardedStore::Poison(const Status& cause) {
   if (!cause.ok()) {
     MutexLock poison_lock(&poison_mu_);
@@ -246,11 +289,57 @@ Status ShardedStore::Poison(const Status& cause) {
   return cause;
 }
 
+void ShardedStore::QuarantineShard(size_t i, const Status& cause) const {
+  static Gauge* quarantined_gauge =
+      MetricRegistry::Default().GetGauge("store.shard.quarantined");
+  MutexLock quarantine_lock(&quarantine_mu_);
+  if (quarantined_[i]) return;
+  quarantined_[i] = true;
+  quarantine_causes_[i] = cause.ToString();
+  const size_t count =
+      quarantined_count_.load(std::memory_order_relaxed) + 1;
+  quarantined_count_.store(count, std::memory_order_release);
+  quarantined_gauge->Set(static_cast<int64_t>(count));
+}
+
+size_t ShardedStore::QuarantinedShards(std::string* detail) const {
+  if (quarantined_count_.load(std::memory_order_acquire) == 0) {
+    if (detail) detail->clear();
+    return 0;
+  }
+  MutexLock quarantine_lock(&quarantine_mu_);
+  size_t count = 0;
+  std::string text;
+  for (size_t i = 0; i < quarantined_.size(); ++i) {
+    if (!quarantined_[i]) continue;
+    ++count;
+    if (detail) {
+      if (!text.empty()) text += "; ";
+      text += "shard " + std::to_string(i) + " quarantined: " +
+              quarantine_causes_[i];
+    }
+  }
+  if (detail) *detail = std::move(text);
+  return count;
+}
+
+Status ShardedStore::QuarantineWriteCheck() const {
+  if (quarantined_count_.load(std::memory_order_acquire) == 0) {
+    return Status::OK();
+  }
+  std::string detail;
+  QuarantinedShards(&detail);
+  return Status::IOError(
+      "store is degraded, writes refused until repaired and reopened: " +
+      detail);
+}
+
 Status ShardedStore::WriteHealth() const {
   // Deliberately NOT commit_mu_: an epoch commit stages durable appends
   // (real I/O) under that lock, and a health probe must report during one,
   // not block behind it.
-  return PoisonStatus();
+  COCONUT_RETURN_IF_ERROR(PoisonStatus());
+  return QuarantineWriteCheck();
 }
 
 Status ShardedStore::Insert(const Series& series) {
@@ -260,6 +349,7 @@ Status ShardedStore::Insert(const Series& series) {
   const size_t shard = ShardForSeries(series);
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
+  COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
   return TagShard(shard, shards_[shard]->Insert(series));
 }
 
@@ -282,6 +372,7 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
 
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
+  COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
   if (single_shard) {
     // Fast path (always taken by 1-shard stores): the epoch journal is
     // skipped entirely. Crash semantics are the unsharded forest's
@@ -335,7 +426,7 @@ Status ShardedStore::CommitCrossShardLocked(
   }
   COCONUT_RETURN_IF_ERROR(Poison(journal_->AppendBegin(epoch, slices)));
   COCONUT_RETURN_IF_ERROR(
-      Poison(Fault(CommitPoint::kAfterJournalBegin, SIZE_MAX)));
+      Poison(Failpoints::Default().Hit("store.commit.after_begin")));
 
   // 2. Stage every sub-batch concurrently: durable raw appends plus
   //    run/memtable preparation, with nothing published yet. The calling
@@ -349,7 +440,8 @@ Status ShardedStore::CommitCrossShardLocked(
     // separately in src/store/journal.cc.
     IoComponentScope io_scope("commit");
     TraceSpan stage_span("store.shard_stage", "store");
-    COCONUT_RETURN_IF_ERROR(Fault(CommitPoint::kShardStage, i));
+    COCONUT_RETURN_IF_ERROR(
+        Failpoints::Default().Hit("store.commit.shard_stage", i));
     return shards_[i]->StageBatch(buckets[i], &staged[i]);
   };
   Stopwatch stage_watch;
@@ -380,11 +472,11 @@ Status ShardedStore::CommitCrossShardLocked(
   }
 
   // 3. Every slice is durable: commit the epoch.
-  COCONUT_RETURN_IF_ERROR(
-      Poison(Fault(CommitPoint::kBeforeJournalCommit, SIZE_MAX)));
+  COCONUT_RETURN_IF_ERROR(Poison(
+      Failpoints::Default().Hit("store.commit.before_journal_commit")));
   COCONUT_RETURN_IF_ERROR(Poison(journal_->AppendCommit(epoch)));
-  COCONUT_RETURN_IF_ERROR(
-      Poison(Fault(CommitPoint::kAfterJournalCommit, SIZE_MAX)));
+  COCONUT_RETURN_IF_ERROR(Poison(
+      Failpoints::Default().Hit("store.commit.after_journal_commit")));
 
   // 4. Publish all slices in one step. Readers capture snapshots under the
   //    shared side of visibility_mu_, so a snapshot sees either none or
@@ -431,6 +523,16 @@ Status ShardedStore::CommitCrossShardLocked(
   }
   (void)shards_[touched[0]]->CompactIfNeeded();
   for (auto& f : compactions) (void)f.get();
+
+  // Size-triggered journal checkpoint: once the journal outgrows the
+  // configured bound, re-commit the manifest (which durably records the
+  // epoch floor) and reset it. The batch IS committed, so like deferred
+  // compaction a checkpoint hiccup must not fail it — a genuinely broken
+  // journal poisons the store from inside CommitManifestLocked anyway.
+  if (options_.journal_checkpoint_bytes > 0 &&
+      journal_->size() > options_.journal_checkpoint_bytes) {
+    (void)CommitManifestLocked();
+  }
   return Status::OK();
 }
 
@@ -451,6 +553,7 @@ Status ShardedStore::ForEachShardParallel(
 
 Status ShardedStore::CommitManifestLocked() {
   for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]) continue;  // quarantined: keep the last committed count
     manifest_.shards[i].entries = shards_[i]->num_entries();
   }
   manifest_.last_committed_epoch =
@@ -470,6 +573,9 @@ Status ShardedStore::CommitManifestLocked() {
   journal_.reset();
   const Status reopened = CommitJournal::Open(dir_, &journal_);
   if (!reopened.ok()) return Poison(reopened);
+  static Counter* checkpoints =
+      MetricRegistry::Default().GetCounter("store.journal.checkpoints");
+  checkpoints->Increment();
   return Status::OK();
 }
 
@@ -480,6 +586,7 @@ Status ShardedStore::Flush() {
   TraceSpan flush_span("store.flush", "store");
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
+  COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
   COCONUT_RETURN_IF_ERROR(
       ForEachShardParallel([this](size_t i) { return shards_[i]->Flush(); }));
   return CommitManifestLocked();
@@ -492,6 +599,7 @@ Status ShardedStore::CompactAll() {
   // caller participation).
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
+  COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
   COCONUT_RETURN_IF_ERROR(ForEachShardParallel(
       [this](size_t i) { return shards_[i]->CompactAll(); }));
   return CommitManifestLocked();
@@ -501,9 +609,13 @@ ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
   ReaderLock visibility_lock(&visibility_mu_);
   Snapshot snap;
   snap.epoch = committed_epoch_.load(std::memory_order_acquire);
+  snap.degraded = quarantined_count_.load(std::memory_order_acquire) > 0;
   snap.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    snap.shards.push_back(shard->GetSnapshot());
+    // A quarantined shard contributes an empty per-shard snapshot so shard
+    // ids keep indexing snap.shards; snap.degraded records the omission.
+    snap.shards.push_back(shard ? shard->GetSnapshot()
+                                : CoconutForest::Snapshot{});
   }
   return snap;
 }
@@ -511,7 +623,9 @@ ShardedStore::Snapshot ShardedStore::GetSnapshot() const {
 uint64_t ShardedStore::num_entries() const {
   ReaderLock visibility_lock(&visibility_mu_);
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->num_entries();
+  for (const auto& shard : shards_) {
+    if (shard) total += shard->num_entries();
+  }
   return total;
 }
 
@@ -548,13 +662,31 @@ Status ShardedStore::ExactSearch(const Snapshot& snapshot, const Value* query,
   if (scratch == nullptr) scratch = &local_scratch;
   // Shards partition the data, so merging per-shard exact top-k answers
   // yields the global top-k (the forest's per-run argument, one level up).
+  // Over a degraded snapshot the same merge is exact over the HEALTHY
+  // shards only, and the result says so.
+  bool degraded = snapshot.degraded;
   std::vector<SearchResult> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]) {
+      degraded = true;
+      continue;
+    }
     if (snapshot.shards[i].num_entries() == 0) continue;
-    COCONUT_RETURN_IF_ERROR(shards_[i]->ExactSearch(
-        snapshot.shards[i], query, &per_shard[i], k, scratch));
+    const Status st = shards_[i]->ExactSearch(
+        snapshot.shards[i], query, &per_shard[i], k, scratch);
+    if (st.code() == Status::Code::kCorruption) {
+      // A checksum failure surfacing mid-query quarantines the shard and
+      // the search continues over the rest — one bad device must not take
+      // reads down store-wide. (Non-corruption errors still propagate.)
+      QuarantineShard(i, TagShard(i, st));
+      per_shard[i] = SearchResult{};
+      degraded = true;
+      continue;
+    }
+    COCONUT_RETURN_IF_ERROR(TagShard(i, st));
   }
   MergeShardResults(per_shard, k, result);
+  result->degraded = degraded;
   return Status::OK();
 }
 
@@ -573,13 +705,26 @@ Status ShardedStore::ApproxSearch(const Snapshot& snapshot, const Value* query,
   if (snapshot.num_entries() == 0) return Status::NotFound("empty store");
   CoconutTree::QueryScratch local_scratch;
   if (scratch == nullptr) scratch = &local_scratch;
+  bool degraded = snapshot.degraded;
   std::vector<SearchResult> per_shard(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]) {
+      degraded = true;
+      continue;
+    }
     if (snapshot.shards[i].num_entries() == 0) continue;
-    COCONUT_RETURN_IF_ERROR(shards_[i]->ApproxSearch(
-        snapshot.shards[i], query, num_leaves, &per_shard[i], k, scratch));
+    const Status st = shards_[i]->ApproxSearch(
+        snapshot.shards[i], query, num_leaves, &per_shard[i], k, scratch);
+    if (st.code() == Status::Code::kCorruption) {
+      QuarantineShard(i, TagShard(i, st));
+      per_shard[i] = SearchResult{};
+      degraded = true;
+      continue;
+    }
+    COCONUT_RETURN_IF_ERROR(TagShard(i, st));
   }
   MergeShardResults(per_shard, k, result);
+  result->degraded = degraded;
   return Status::OK();
 }
 

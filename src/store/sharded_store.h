@@ -62,22 +62,25 @@
 
 namespace coconut {
 
-/// Kill points in the cross-shard commit protocol, in protocol order.
-/// Exposed for fault-injection tests (StoreOptions::commit_fault_hook);
-/// each one models a crash or I/O failure at that exact point.
-enum class CommitPoint {
-  /// Begin record durable, no shard has received data yet.
-  kAfterJournalBegin,
-  /// About to stage one shard's sub-batch (the hook's shard argument says
-  /// which); failing here leaves OTHER shards' slices on disk — the torn
-  /// batch recovery must roll back.
-  kShardStage,
-  /// Every shard's append is durable but the commit record is not.
-  kBeforeJournalCommit,
-  /// Commit record durable, nothing published to readers yet; the batch
-  /// must SURVIVE reopen.
-  kAfterJournalCommit,
-};
+// Fault injection: the cross-shard commit protocol exposes one failpoint
+// site per kill point, in protocol order (src/common/failpoint.h; arm with
+// Failpoints::Default().Arm*/ArmCallback or COCONUT_FAILPOINTS):
+//
+//   store.commit.after_begin            begin record durable, no shard
+//                                       touched yet
+//   store.commit.shard_stage            about to stage one shard's
+//                                       sub-batch (arg = shard id); failing
+//                                       here leaves OTHER shards' slices on
+//                                       disk — torn-batch recovery rolls
+//                                       them back
+//   store.commit.before_journal_commit  every shard durable, commit record
+//                                       not yet written
+//   store.commit.after_journal_commit   commit record durable, nothing
+//                                       published; the batch must SURVIVE
+//                                       reopen
+//
+// A failure at any site fails the batch and poisons the store until it is
+// reopened, exactly as a real I/O error at that point would.
 
 struct StoreOptions {
   /// Per-shard forest configuration (memtable size, run threshold, tree).
@@ -86,12 +89,12 @@ struct StoreOptions {
   /// uses the shard count and boundaries pinned in its manifest.
   size_t num_shards = 4;
 
-  /// TEST-ONLY fault injection into the cross-shard commit protocol: when
-  /// set, invoked at every CommitPoint (shard is the shard id for
-  /// kShardStage, SIZE_MAX otherwise; called from pool threads, so the
-  /// hook must be thread-safe). Returning non-OK simulates a crash at that
-  /// point: the batch fails and the store poisons itself until reopened.
-  std::function<Status(CommitPoint, size_t shard)> commit_fault_hook;
+  /// Size-triggered journal checkpointing: after a cross-shard commit, if
+  /// the JOURNAL has grown past this many bytes the store re-commits the
+  /// manifest (which durably records the committed-epoch floor) and resets
+  /// the journal, bounding both its size and the next open's replay.
+  /// 0 disables the trigger (Flush/CompactAll still checkpoint).
+  uint64_t journal_checkpoint_bytes = 4u << 20;
 
   Status Validate() const {
     COCONUT_RETURN_IF_ERROR(forest.Validate());
@@ -119,6 +122,10 @@ class ShardedStore {
     std::vector<CoconutForest::Snapshot> shards;
     /// Last cross-shard epoch committed (and published) at capture time.
     uint64_t epoch = 0;
+    /// True when at least one shard was quarantined at capture time: the
+    /// snapshot covers only the healthy shards (quarantined entries appear
+    /// empty) and results computed from it carry the same flag.
+    bool degraded = false;
 
     uint64_t num_entries() const {
       uint64_t total = 0;
@@ -132,6 +139,15 @@ class ShardedStore {
   /// committed before any data is written; an existing store is reopened
   /// from its manifest (each shard forest recovers its runs from the
   /// shard's raw dataset file).
+  ///
+  /// Degraded reopen: a shard whose raw file fails its checksum scan is
+  /// first salvaged (truncated back to the longest checksum-valid prefix,
+  /// CoconutForest::SalvageRaw) and retried; if it still cannot open, the
+  /// shard is QUARANTINED instead of failing the whole open: reads continue
+  /// over the healthy shards with results flagged `degraded`, and writes
+  /// are refused until the operator repairs and reopens. Store-level
+  /// corruption (manifest, journal interior) still fails the open — there
+  /// is no healthy subset to serve.
   static Status Open(const std::string& dir, const StoreOptions& options,
                      std::unique_ptr<ShardedStore>* out);
 
@@ -197,10 +213,16 @@ class ShardedStore {
   size_t ShardForSeries(const Series& series) const;
 
   /// Write-path health: OK while the store accepts writes, or the poison
-  /// status after a torn cross-shard commit (every write is refused until
-  /// the store is reopened). The admin server's /healthz maps a non-OK
-  /// result to HTTP 503.
+  /// status after a torn cross-shard commit / the quarantine status while
+  /// shards are quarantined (every write is refused until the store is
+  /// reopened). The admin server's /healthz maps a non-OK result to HTTP
+  /// 503 — except quarantine, which it reports as 200 "degraded" via
+  /// QuarantinedShards (reads still work).
   Status WriteHealth() const;
+
+  /// Number of quarantined shards; when non-zero and `detail` is non-null,
+  /// fills it with a human-readable summary (shard ids and causes).
+  size_t QuarantinedShards(std::string* detail = nullptr) const;
 
   size_t num_shards() const { return shards_.size(); }
   /// Total entries across shards (direct per-shard sums under the
@@ -235,8 +257,18 @@ class ShardedStore {
   /// The atomic multi-shard commit (epoch + journal + staged publication).
   Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets)
       REQUIRES(commit_mu_);
-  /// Invokes the test-only fault hook at `point` (no-op when unset).
-  Status Fault(CommitPoint point, size_t shard) const;
+  /// Marks shard `i` quarantined with `cause` (idempotent; const because
+  /// the read path quarantines on checksum failure) and updates the
+  /// store.shard.quarantined gauge.
+  void QuarantineShard(size_t i, const Status& cause) const;
+  bool IsQuarantined(size_t i) const EXCLUDES(quarantine_mu_) {
+    MutexLock lock(&quarantine_mu_);
+    return quarantined_[i];
+  }
+  /// Non-OK while any shard is quarantined (writes are refused: a write
+  /// routed to a quarantined shard would silently drop, and rebalancing is
+  /// an operator decision).
+  Status QuarantineWriteCheck() const;
   /// Marks the store write-poisoned after a torn commit (writers are
   /// serialized, so only a commit_mu_ holder ever poisons). Returns `cause`
   /// for convenient chaining.
@@ -273,6 +305,15 @@ class ShardedStore {
   // holds commit_mu_ — a health probe must report, not hang.
   mutable Mutex poison_mu_;
   Status poison_ GUARDED_BY(poison_mu_);
+  // Degraded-mode state: per-shard quarantine flags plus their causes.
+  // Innermost like poison_mu_ (never held across I/O or other locks);
+  // quarantined_count_ mirrors the flag count so snapshot capture and the
+  // search hot path can check for degradation without the mutex.
+  mutable Mutex quarantine_mu_;
+  mutable std::vector<bool> quarantined_ GUARDED_BY(quarantine_mu_);
+  mutable std::vector<std::string> quarantine_causes_
+      GUARDED_BY(quarantine_mu_);
+  mutable std::atomic<size_t> quarantined_count_{0};
   // Last epoch committed AND published (atomic so snapshots can stamp
   // themselves without taking commit_mu_).
   std::atomic<uint64_t> committed_epoch_{0};

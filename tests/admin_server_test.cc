@@ -11,6 +11,9 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/failpoint.h"
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
@@ -220,6 +224,11 @@ TEST(AdminServer, ServesAllEndpointsUnderConcurrentQueryLoad) {
   EXPECT_EQ(HttpGet(port, "/statusz", &body), 200);
   EXPECT_NE(body.find("\"simd_kernel\""), std::string::npos);
   EXPECT_NE(body.find("\"uptime_s\""), std::string::npos);
+  EXPECT_NE(body.find("\"integrity\""), std::string::npos);
+  EXPECT_NE(body.find("\"crc32c_backend\""), std::string::npos);
+  EXPECT_NE(body.find("\"checksums_verified\""), std::string::npos);
+  EXPECT_NE(body.find("\"shards_quarantined\""), std::string::npos);
+  EXPECT_NE(body.find("\"journal_checkpoints\""), std::string::npos);
   EXPECT_NE(body.find("\"gauges\""), std::string::npos);
 
   EXPECT_EQ(HttpGet(port, "/queryz", &body), 200);
@@ -240,8 +249,7 @@ TEST(AdminServer, ServesAllEndpointsUnderConcurrentQueryLoad) {
   server.Stop();
 }
 
-TEST(AdminServer, HealthzFlipsTo503WhenStorePoisoned) {
-  ScratchDir dir;
+StoreOptions SmallStoreOptions(const ScratchDir& dir, size_t num_shards) {
   StoreOptions opts;
   opts.forest.tree.summary.series_length = kSeriesLen;
   opts.forest.tree.summary.segments = 16;
@@ -249,17 +257,37 @@ TEST(AdminServer, HealthzFlipsTo503WhenStorePoisoned) {
   opts.forest.tree.tmp_dir = dir.path();
   opts.forest.memtable_series = 100;
   opts.forest.max_runs = 3;
-  opts.num_shards = 2;
-  auto armed = std::make_shared<std::atomic<bool>>(false);
-  opts.commit_fault_hook = [armed](CommitPoint point, size_t) {
-    if (!armed->load() || point != CommitPoint::kAfterJournalBegin) {
-      return Status::OK();
-    }
-    return Status::IOError("injected fault");
-  };
+  opts.num_shards = num_shards;
+  return opts;
+}
 
+/// The intended store wiring for /healthz: poison (torn commit) makes the
+/// process unavailable, quarantine (a corrupt shard) only degrades it —
+/// reads still answer over the healthy shards.
+AdminServer::HealthProbe StoreHealthProbe(ShardedStore* store) {
+  return [store]() {
+    AdminServer::HealthStatus h;
+    std::string detail;
+    if (store->QuarantinedShards(&detail) > 0) {
+      h.state = AdminServer::HealthStatus::State::kDegraded;
+      h.detail = detail;
+      return h;
+    }
+    const Status s = store->WriteHealth();
+    if (!s.ok()) {
+      h.state = AdminServer::HealthStatus::State::kUnavailable;
+      h.detail = s.ToString();
+    }
+    return h;
+  };
+}
+
+TEST(AdminServer, HealthzFlipsTo503WhenStorePoisoned) {
+  FailpointGuard failpoints;
+  ScratchDir dir;
   std::unique_ptr<ShardedStore> store;
-  ASSERT_OK(ShardedStore::Open(dir.File("store"), opts, &store));
+  ASSERT_OK(
+      ShardedStore::Open(dir.File("store"), SmallStoreOptions(dir, 2), &store));
 
   AdminServer server;
   server.SetHealthCheck([&store]() { return store->WriteHealth(); });
@@ -276,11 +304,70 @@ TEST(AdminServer, HealthzFlipsTo503WhenStorePoisoned) {
   std::map<size_t, size_t> owners;
   for (const Series& s : batch) ++owners[store->ShardForSeries(s)];
   ASSERT_GT(owners.size(), 1u) << "batch routed to a single shard";
-  armed->store(true);
+  Failpoints::Default().ArmError("store.commit.after_begin");
   EXPECT_FALSE(store->InsertBatch(batch).ok());
 
   EXPECT_EQ(HttpGet(port, "/healthz", &body), 503);
   EXPECT_NE(body.find("read-only"), std::string::npos) << body;
+  server.Stop();
+}
+
+TEST(AdminServer, HealthzReportsDegradedNotUnavailableOnQuarantine) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStoreOptions(dir, 2), &store));
+  const std::vector<Series> data = MakeSeries(300, 21);
+  std::map<size_t, size_t> owners;
+  for (const Series& s : data) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u) << "batch routed to a single shard";
+  ASSERT_OK(store->InsertBatch(data));
+  ASSERT_OK(store->Flush());
+
+  AdminServer server;
+  server.SetHealthProbe(StoreHealthProbe(store.get()));
+  ASSERT_OK(server.Start(0));
+  const uint16_t port = server.port();
+
+  std::string body;
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  EXPECT_EQ(body, "ok\n");
+
+  // Corrupt one shard's run sidecar under the live store; the next exact
+  // query detects the checksum failure and quarantines that shard.
+  bool corrupted = false;
+  for (size_t i = 0; i < store->num_shards() && !corrupted; ++i) {
+    const std::string shard_dir = JoinPath(root, "shard-" + std::to_string(i));
+    for (const auto& entry : std::filesystem::directory_iterator(shard_dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".sax") continue;
+      std::fstream f(entry.path(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.good());
+      f.seekg(0, std::ios::end);
+      const std::streamoff size = f.tellg();
+      ASSERT_GT(size, 0);
+      f.seekg(size / 2);
+      char b = 0;
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x01);
+      f.seekp(size / 2);
+      f.write(&b, 1);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no run sidecar found to corrupt";
+  SearchResult r;
+  const std::vector<Series> queries = MakeSeries(1, 22);
+  ASSERT_OK(store->ExactSearch(queries[0].data(), &r, 1));
+  EXPECT_TRUE(r.degraded);
+
+  // Degraded, not down: 200 so load balancers keep routing reads, with the
+  // quarantine cause in the body for operators.
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  EXPECT_EQ(body.rfind("degraded: ", 0), 0u) << body;
+  EXPECT_NE(body.find("quarantined"), std::string::npos) << body;
   server.Stop();
 }
 

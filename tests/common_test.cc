@@ -1,7 +1,14 @@
-// Status, env helpers, options validation, and bit utilities.
+// Status, env helpers, options validation, bit utilities, the CRC32C
+// dispatcher, and the failpoint registry.
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "src/common/bits.h"
+#include "src/common/crc32c.h"
 #include "src/common/env.h"
+#include "src/common/failpoint.h"
 #include "src/common/status.h"
 #include "src/core/coconut_options.h"
 #include "src/summary/options.h"
@@ -90,6 +97,132 @@ TEST(Env, JoinPath) {
   EXPECT_EQ(JoinPath("a", "b"), "a/b");
   EXPECT_EQ(JoinPath("a/", "b"), "a/b");
   EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 (iSCSI) CRC32C test vectors.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xE3069283u);
+  std::vector<uint8_t> buf(32, 0x00);
+  EXPECT_EQ(crc32c::Value(buf.data(), buf.size()), 0x8A9136AAu);
+  buf.assign(32, 0xFF);
+  EXPECT_EQ(crc32c::Value(buf.data(), buf.size()), 0x62A8AB43u);
+  for (size_t i = 0; i < 32; ++i) buf[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(crc32c::Value(buf.data(), buf.size()), 0x46DD794Eu);
+  EXPECT_EQ(crc32c::Value(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, ExtendIsIncremental) {
+  // Checksumming in arbitrary chunks must equal one contiguous pass, at
+  // every split and alignment (exercises the hardware backend's 8/4/1-byte
+  // tail handling).
+  std::vector<uint8_t> buf(97);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint32_t whole = crc32c::Value(buf.data(), buf.size());
+  for (size_t split = 0; split <= buf.size(); ++split) {
+    uint32_t crc = crc32c::Extend(0, buf.data(), split);
+    crc = crc32c::Extend(crc, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<uint8_t> buf(64, 0xA5);
+  const uint32_t clean = crc32c::Value(buf.data(), buf.size());
+  for (size_t bit = 0; bit < buf.size() * 8; bit += 7) {
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32c::Value(buf.data(), buf.size()), clean)
+        << "missed flip of bit " << bit;
+    buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+TEST(Crc32c, HexRoundTrip) {
+  EXPECT_EQ(crc32c::ToHex(0xDEADBEEFu), "deadbeef");
+  EXPECT_EQ(crc32c::ToHex(0x0000002Au), "0000002a");
+  uint32_t crc = 0;
+  EXPECT_TRUE(crc32c::FromHex("deadbeef", &crc));
+  EXPECT_EQ(crc, 0xDEADBEEFu);
+  EXPECT_TRUE(crc32c::FromHex("DEADBEEF", &crc));
+  EXPECT_EQ(crc, 0xDEADBEEFu);
+  EXPECT_FALSE(crc32c::FromHex("deadbee", &crc));    // too short
+  EXPECT_FALSE(crc32c::FromHex("deadbeef0", &crc));  // too long
+  EXPECT_FALSE(crc32c::FromHex("deadbeeg", &crc));   // non-hex
+  EXPECT_FALSE(crc32c::FromHex("", &crc));
+  const char* backend = crc32c::BackendName();
+  EXPECT_TRUE(std::string(backend) == "sse42" ||
+              std::string(backend) == "armv8" ||
+              std::string(backend) == "scalar")
+      << backend;
+}
+
+TEST(Failpoints, DisarmedSitesAreFree) {
+  FailpointGuard guard;
+  EXPECT_OK(Failpoints::Default().Hit("test.common.never_armed"));
+  EXPECT_EQ(Failpoints::Default().HitCount("test.common.never_armed"), 0u);
+}
+
+TEST(Failpoints, ArmErrorFiresAndDisarms) {
+  FailpointGuard guard;
+  Failpoints::Default().ArmError("test.common.site");
+  const Status st = Failpoints::Default().Hit("test.common.site");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find("failpoint: test.common.site"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(Failpoints::Default().HitCount("test.common.site"), 1u);
+  // Other sites stay clean while one is armed.
+  EXPECT_OK(Failpoints::Default().Hit("test.common.other"));
+  Failpoints::Default().Disarm("test.common.site");
+  EXPECT_OK(Failpoints::Default().Hit("test.common.site"));
+  // Disarm drops the whole entry, hit counter included.
+  EXPECT_EQ(Failpoints::Default().HitCount("test.common.site"), 0u);
+}
+
+TEST(Failpoints, RemainingBudgetExhausts) {
+  FailpointGuard guard;
+  Failpoints::Action action;
+  action.kind = Failpoints::Kind::kError;
+  action.remaining = 2;
+  Failpoints::Default().Arm("test.common.budget", action);
+  EXPECT_FALSE(Failpoints::Default().Hit("test.common.budget").ok());
+  EXPECT_FALSE(Failpoints::Default().Hit("test.common.budget").ok());
+  EXPECT_OK(Failpoints::Default().Hit("test.common.budget"));
+  EXPECT_EQ(Failpoints::Default().HitCount("test.common.budget"), 2u);
+}
+
+TEST(Failpoints, CallbackReceivesSiteArgument) {
+  FailpointGuard guard;
+  std::vector<size_t> args;
+  Failpoints::Default().ArmCallback(
+      "test.common.cb", [&args](size_t arg) {
+        args.push_back(arg);
+        return arg == 3 ? Status::IOError("third strike") : Status::OK();
+      });
+  EXPECT_OK(Failpoints::Default().Hit("test.common.cb", 1));
+  EXPECT_OK(Failpoints::Default().Hit("test.common.cb", 2));
+  EXPECT_FALSE(Failpoints::Default().Hit("test.common.cb", 3).ok());
+  EXPECT_EQ(args, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(Failpoints, WriteFaultsFillTheMutation) {
+  FailpointGuard guard;
+  Failpoints::Action torn;
+  torn.kind = Failpoints::Kind::kTornWrite;
+  Failpoints::Default().Arm("test.common.torn", torn);
+  Failpoints::WriteFault fault;
+  EXPECT_OK(Failpoints::Default().HitWrite("test.common.torn", 100, &fault));
+  EXPECT_TRUE(fault.torn);
+  EXPECT_LT(fault.torn_bytes, 100u);
+
+  Failpoints::Action flip;
+  flip.kind = Failpoints::Kind::kBitFlip;
+  Failpoints::Default().Arm("test.common.flip", flip);
+  fault = Failpoints::WriteFault();
+  EXPECT_OK(Failpoints::Default().HitWrite("test.common.flip", 100, &fault));
+  EXPECT_TRUE(fault.bit_flip);
+  EXPECT_LT(fault.flip_index, 800u);  // bit index into a 100-byte buffer
 }
 
 TEST(SummaryOptions, ValidatesConfigurations) {

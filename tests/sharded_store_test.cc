@@ -12,11 +12,14 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/crc32c.h"
+#include "src/common/failpoint.h"
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
 #include "src/store/journal.h"
@@ -411,19 +414,20 @@ void ExpectStoreMatchesUnshardedForest(const ScratchDir& dir,
 
 TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
   struct Kill {
-    CommitPoint point;
+    const char* site;
     bool batch_survives;  // commit record durable before the "crash"?
     const char* name;
   };
   const std::vector<Kill> kills = {
-      {CommitPoint::kAfterJournalBegin, false, "after-begin"},
-      {CommitPoint::kShardStage, false, "shard-stage"},
-      {CommitPoint::kBeforeJournalCommit, false, "before-commit"},
-      {CommitPoint::kAfterJournalCommit, true, "after-commit"},
+      {"store.commit.after_begin", false, "after-begin"},
+      {"store.commit.shard_stage", false, "shard-stage"},
+      {"store.commit.before_journal_commit", false, "before-commit"},
+      {"store.commit.after_journal_commit", true, "after-commit"},
   };
 
   for (const Kill& kill : kills) {
     SCOPED_TRACE(kill.name);
+    FailpointGuard failpoints;
     ScratchDir dir;
     const std::string root = dir.File("store");
 
@@ -433,30 +437,15 @@ TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
     const std::vector<Series> committed(data.begin(), data.begin() + 160);
     const std::vector<Series> torn(data.begin() + 160, data.end());
 
-    // The fault hook stays dormant until armed, then fires once at the
-    // chosen kill point (for kShardStage: only on the victim shard, so
-    // every OTHER shard durably stages its slice — the torn state).
-    auto armed = std::make_shared<std::atomic<bool>>(false);
-    auto victim = std::make_shared<std::atomic<size_t>>(SIZE_MAX);
-    StoreOptions opts = SmallStore(dir, 3);
-    opts.commit_fault_hook = [armed, victim, kill](CommitPoint point,
-                                                   size_t shard) {
-      if (!armed->load() || point != kill.point) return Status::OK();
-      if (kill.point == CommitPoint::kShardStage && shard != victim->load()) {
-        return Status::OK();
-      }
-      return Status::IOError("injected fault");
-    };
-
     {
       std::unique_ptr<ShardedStore> store;
-      ASSERT_OK(ShardedStore::Open(root, opts, &store));
+      ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
       // The torn batch must actually be multi-shard or the journal-free
       // fast path would dodge the kill point.
       std::map<size_t, size_t> owners;
       for (const Series& s : torn) ++owners[store->ShardForSeries(s)];
       ASSERT_GT(owners.size(), 1u) << "torn batch routed to a single shard";
-      victim->store(store->ShardForSeries(torn[0]));
+      const size_t victim = store->ShardForSeries(torn[0]);
 
       ASSERT_OK(store->InsertBatch(
           std::vector<Series>(committed.begin(), committed.begin() + 80)));
@@ -464,7 +453,18 @@ TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
           std::vector<Series>(committed.begin() + 80, committed.end())));
       EXPECT_EQ(store->num_entries(), committed.size());
 
-      armed->store(true);
+      // Arm the chosen kill point AFTER the committed prefix lands (for
+      // shard_stage: only the victim shard fails, so every OTHER shard
+      // durably stages its slice — the torn state).
+      if (std::string(kill.site) == "store.commit.shard_stage") {
+        Failpoints::Default().ArmCallback(
+            kill.site, [victim](size_t shard) {
+              if (shard != victim) return Status::OK();
+              return Status::IOError("injected fault");
+            });
+      } else {
+        Failpoints::Default().ArmError(kill.site);
+      }
       const Status st = store->InsertBatch(torn);
       EXPECT_FALSE(st.ok()) << st.ToString();
 
@@ -472,7 +472,7 @@ TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
       // counts keep seeing only the committed prefix...
       EXPECT_EQ(store->num_entries(), committed.size());
       // ...and the store is write-poisoned until reopened.
-      armed->store(false);
+      Failpoints::Default().DisarmAll();
       const Status poisoned = store->InsertBatch(torn);
       EXPECT_TRUE(poisoned.IsIOError()) << poisoned.ToString();
       EXPECT_NE(poisoned.message().find("read-only"), std::string::npos)
@@ -497,33 +497,28 @@ TEST(ShardedStoreRecovery, KillPointMatrixYieldsCommittedPrefix) {
 }
 
 TEST(ShardedStoreRecovery, TornCommitStatusNamesFailedShards) {
+  FailpointGuard failpoints;
   ScratchDir dir;
   const std::string root = dir.File("store");
   const std::vector<Series> batch = MakeSeries(120, 8000);
 
-  auto armed = std::make_shared<std::atomic<bool>>(false);
-  auto victim = std::make_shared<std::atomic<size_t>>(SIZE_MAX);
-  StoreOptions opts = SmallStore(dir, 4);
-  opts.commit_fault_hook = [armed, victim](CommitPoint point, size_t shard) {
-    if (!armed->load() || point != CommitPoint::kShardStage) {
-      return Status::OK();
-    }
-    if (shard != victim->load()) return Status::OK();
-    return Status::IOError("disk gone");
-  };
   std::unique_ptr<ShardedStore> store;
-  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 4), &store));
   std::map<size_t, size_t> owners;
   for (const Series& s : batch) ++owners[store->ShardForSeries(s)];
   ASSERT_GT(owners.size(), 1u);
-  victim->store(store->ShardForSeries(batch[0]));
+  const size_t victim = store->ShardForSeries(batch[0]);
 
-  armed->store(true);
+  Failpoints::Default().ArmCallback(
+      "store.commit.shard_stage", [victim](size_t shard) {
+        if (shard != victim) return Status::OK();
+        return Status::IOError("disk gone");
+      });
   const Status st = store->InsertBatch(batch);
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.message().find("torn at epoch"), std::string::npos)
       << st.ToString();
-  EXPECT_NE(st.message().find("shard " + std::to_string(victim->load())),
+  EXPECT_NE(st.message().find("shard " + std::to_string(victim)),
             std::string::npos)
       << st.ToString();
 }
@@ -533,22 +528,22 @@ TEST(ShardedStore, WriteHealthRespondsDuringInFlightCommit) {
   // queued behind an entire epoch commit — and the stage phase does real
   // durable I/O under that lock. The poison flag now lives under its own
   // innermost mutex; a probe must answer while a commit is in flight.
+  FailpointGuard failpoints;
   ScratchDir dir;
   const std::string root = dir.File("store");
 
-  // The fault hook parks staging shards until released, modeling a slow
-  // durable append: the commit lock stays held for the whole stall.
+  // The failpoint callback parks staging shards until released, modeling a
+  // slow durable append: the commit lock stays held for the whole stall.
   auto entered = std::make_shared<std::atomic<bool>>(false);
   auto release = std::make_shared<std::atomic<bool>>(false);
-  StoreOptions opts = SmallStore(dir, 2);
-  opts.commit_fault_hook = [entered, release](CommitPoint point, size_t) {
-    if (point != CommitPoint::kShardStage) return Status::OK();
-    entered->store(true);
-    while (!release->load()) std::this_thread::yield();
-    return Status::OK();
-  };
+  Failpoints::Default().ArmCallback(
+      "store.commit.shard_stage", [entered, release](size_t) {
+        entered->store(true);
+        while (!release->load()) std::this_thread::yield();
+        return Status::OK();
+      });
   std::unique_ptr<ShardedStore> store;
-  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
 
   const std::vector<Series> batch = MakeSeries(120, 4200);
   // Must be multi-shard, or the journal-free fast path would skip the
@@ -683,6 +678,269 @@ TEST(ShardedStoreRecovery, TornSingleSeriesTailRolledBack) {
   ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
   EXPECT_EQ(store->num_entries(), data.size());
   ExpectStoreMatchesUnshardedForest(dir, store.get(), data, "torn-tail");
+}
+
+TEST(ShardedStoreRecovery, SizeTriggeredJournalCheckpoint) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  StoreOptions opts = SmallStore(dir, 3);
+  opts.journal_checkpoint_bytes = 64;  // every multi-shard epoch overflows
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+  uint64_t header_only = 0;
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &header_only));
+
+  const std::vector<Series> data = MakeSeries(120, 9700);
+  std::map<size_t, size_t> owners;
+  for (const Series& s : data) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u) << "batch routed to a single shard";
+  ASSERT_OK(store->InsertBatch(data));
+
+  // The committing call itself noticed the overflow and checkpointed: the
+  // manifest durably holds the epoch floor and the journal is back to its
+  // header — no explicit Flush needed.
+  uint64_t after = 0;
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &after));
+  EXPECT_EQ(after, header_only);
+  StoreManifest m;
+  ASSERT_OK(ReadStoreManifest(root, &m));
+  EXPECT_EQ(m.last_committed_epoch, store->committed_epoch());
+
+  // 0 disables the trigger: records stay until an explicit checkpoint.
+  store.reset();
+  StoreOptions no_trigger = SmallStore(dir, 3);
+  no_trigger.journal_checkpoint_bytes = 0;
+  ASSERT_OK(ShardedStore::Open(root, no_trigger, &store));
+  const std::vector<Series> more = MakeSeries(120, 9701);
+  std::map<size_t, size_t> more_owners;
+  for (const Series& s : more) ++more_owners[store->ShardForSeries(s)];
+  ASSERT_GT(more_owners.size(), 1u) << "batch routed to a single shard";
+  ASSERT_OK(store->InsertBatch(more));
+  ASSERT_OK(FileSize(JoinPath(root, kStoreJournalName), &after));
+  EXPECT_GT(after, header_only);
+
+  // Either way recovery sees everything.
+  store.reset();
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+  EXPECT_EQ(store->num_entries(), data.size() + more.size());
+}
+
+// --- End-to-end integrity: byte flips are detected, never silently served ---
+
+TEST(StoreManifestStrict, ChecksumTrailerDetectsByteFlips) {
+  ScratchDir dir;
+  StoreManifest m;
+  m.series_length = 64;
+  ShardInfo info;
+  info.dir = "shard-0";
+  info.entries = 7;
+  m.shards.push_back(info);
+  ASSERT_OK(WriteStoreManifest(dir.path(), m));
+
+  const std::string path = JoinPath(dir.path(), kStoreManifestName);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_NE(text.find("\nchecksum "), std::string::npos);
+
+  // Flip the entries digit ("shard-0 7" -> "shard-0 6"): the line still
+  // parses, so the only defense left is the checksum trailer.
+  std::string flipped = text;
+  const size_t pos = flipped.find(" shard-0 7");
+  ASSERT_NE(pos, std::string::npos);
+  flipped[pos + 9] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << flipped;
+  }
+  StoreManifest reread;
+  Status st = ReadStoreManifest(dir.path(), &reread);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("checksum"), std::string::npos)
+      << st.ToString();
+
+  // The checksum trailer must be the LAST line: content appended after it
+  // (a truncation-then-append attack shape) is rejected too.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text << "series_length 64\n";
+  }
+  st = ReadStoreManifest(dir.path(), &reread);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("last"), std::string::npos) << st.ToString();
+}
+
+TEST(ShardedStoreRecovery, JournalRecordByteFlipRejected) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+    const std::vector<Series> data = MakeSeries(150, 9800);
+    std::map<size_t, size_t> owners;
+    for (const Series& s : data) ++owners[store->ShardForSeries(s)];
+    ASSERT_GT(owners.size(), 1u) << "batch routed to a single shard";
+    ASSERT_OK(store->InsertBatch(data));  // journal: begin + commit records
+  }
+  const std::string journal_path = JoinPath(root, kStoreJournalName);
+  std::string text;
+  {
+    std::ifstream in(journal_path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // Flip a byte inside an INTERIOR record (the begin line): unlike a torn
+  // tail, interior damage must refuse to open.
+  const size_t begin_pos = text.find("\nbegin ");
+  ASSERT_NE(begin_pos, std::string::npos);
+  text[begin_pos + 3] ^= 0x01;
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  std::unique_ptr<ShardedStore> store;
+  const Status st = ShardedStore::Open(root, SmallStore(dir, 2), &store);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("crc"), std::string::npos) << st.ToString();
+}
+
+// --- Degraded-mode serving ---------------------------------------------------
+
+TEST(ShardedStoreDegraded, CorruptShardQuarantinesAndServesDegraded) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  const std::vector<Series> data = MakeSeries(400, 11000);
+  size_t victim = SIZE_MAX;
+  std::vector<Series> healthy;
+  {
+    std::unique_ptr<ShardedStore> store;
+    ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+    ASSERT_OK(store->InsertBatch(data));
+    ASSERT_OK(store->Flush());  // manifest records the committed floor
+    std::map<size_t, size_t> owners;
+    for (const Series& s : data) ++owners[store->ShardForSeries(s)];
+    ASSERT_GT(owners.size(), 1u);
+    for (const auto& [shard, count] : owners) {
+      if (victim == SIZE_MAX || count > owners[victim]) victim = shard;
+    }
+    for (const Series& s : data) {
+      if (store->ShardForSeries(s) != victim) healthy.push_back(s);
+    }
+    ASSERT_FALSE(healthy.empty());
+  }
+
+  // Flip one byte in the middle of the victim's raw file. Its per-series
+  // checksum no longer verifies, and salvage cannot keep the committed
+  // floor — the shard must quarantine, not silently serve a prefix.
+  const std::string raw = JoinPath(
+      JoinPath(root, "shard-" + std::to_string(victim)), "raw.bin");
+  {
+    std::fstream f(raw, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 0);
+    f.seekg(size / 2);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(size / 2);
+    f.write(&b, 1);
+  }
+
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 3), &store));
+  std::string detail;
+  EXPECT_EQ(store->QuarantinedShards(&detail), 1u);
+  EXPECT_NE(detail.find("shard " + std::to_string(victim)),
+            std::string::npos)
+      << detail;
+
+  // Writes are refused (a routed write could silently drop)...
+  const Status w = store->InsertBatch(MakeSeries(10, 11001));
+  EXPECT_TRUE(w.IsIOError()) << w.ToString();
+  EXPECT_NE(w.message().find("degraded"), std::string::npos) << w.ToString();
+  EXPECT_FALSE(store->WriteHealth().ok());
+
+  // ...but reads continue over the healthy shards, flagged degraded and
+  // exact over what they can see.
+  const ShardedStore::Snapshot snap = store->GetSnapshot();
+  EXPECT_TRUE(snap.degraded);
+  EXPECT_EQ(store->num_entries(), healthy.size());
+  const std::vector<Series> queries = MakeSeries(5, 11002);
+  for (const Series& q : queries) {
+    SearchResult r;
+    ASSERT_OK(store->ExactSearch(q.data(), &r, 3));
+    EXPECT_TRUE(r.degraded);
+    const std::vector<double> oracle = OracleTopK(healthy, q, 3);
+    ASSERT_EQ(r.neighbors.size(), oracle.size());
+    for (size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_NEAR(r.neighbors[j].distance, oracle[j], 1e-4);
+    }
+  }
+}
+
+TEST(ShardedStoreDegraded, ReadTimeChecksumFailureQuarantinesShard) {
+  ScratchDir dir;
+  const std::string root = dir.File("store");
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_OK(ShardedStore::Open(root, SmallStore(dir, 2), &store));
+  const std::vector<Series> data = MakeSeries(300, 12000);
+  std::map<size_t, size_t> owners;
+  for (const Series& s : data) ++owners[store->ShardForSeries(s)];
+  ASSERT_GT(owners.size(), 1u);
+  ASSERT_OK(store->InsertBatch(data));
+  ASSERT_OK(store->Flush());  // memtables -> run files (+ .sax sidecars)
+
+  // Corrupt a run sidecar of one LIVE shard under the running store. The
+  // first exact query lazily loads it, fails its checksum, and the store
+  // quarantines that shard mid-flight instead of failing reads store-wide.
+  size_t victim = SIZE_MAX;
+  for (size_t i = 0; i < store->num_shards() && victim == SIZE_MAX; ++i) {
+    const std::string shard_dir = JoinPath(root, "shard-" + std::to_string(i));
+    for (const auto& entry :
+         std::filesystem::directory_iterator(shard_dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".sax") continue;
+      std::fstream f(entry.path(), std::ios::in | std::ios::out |
+                                       std::ios::binary);
+      ASSERT_TRUE(f.good());
+      f.seekg(0, std::ios::end);
+      const std::streamoff size = f.tellg();
+      ASSERT_GT(size, 0);
+      f.seekg(size / 2);
+      char b = 0;
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x01);
+      f.seekp(size / 2);
+      f.write(&b, 1);
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, SIZE_MAX) << "no run sidecar found to corrupt";
+
+  const std::vector<Series> queries = MakeSeries(4, 12001);
+  SearchResult r;
+  ASSERT_OK(store->ExactSearch(queries[0].data(), &r, 3));
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(store->QuarantinedShards(), 1u);
+  std::string detail;
+  store->QuarantinedShards(&detail);
+  EXPECT_NE(detail.find("shard " + std::to_string(victim)),
+            std::string::npos)
+      << detail;
+
+  // Later snapshots carry the flag, reads keep answering, writes refuse.
+  EXPECT_TRUE(store->GetSnapshot().degraded);
+  SearchResult again;
+  ASSERT_OK(store->ExactSearch(queries[1].data(), &again, 2));
+  EXPECT_TRUE(again.degraded);
+  EXPECT_FALSE(store->InsertBatch(MakeSeries(5, 12002)).ok());
+  EXPECT_FALSE(store->WriteHealth().ok());
 }
 
 // --- Atomic cross-shard visibility ------------------------------------------

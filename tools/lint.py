@@ -34,6 +34,21 @@ DIMENSIONLESS_HISTOGRAMS = {
     "forest.compaction.merge_fan_in",  # counts input runs, not time
 }
 
+# First path segment of every metric registered from src/ (the component
+# vocabulary documented in src/obs/README.md). A new component is a naming
+# decision, not a typo: add it here and to the README table in the same
+# change. Tests are exempt — they register throwaway names on purpose.
+KNOWN_COMPONENTS = {
+    "exec",    # thread pool / task execution
+    "forest",  # LSM forest: flushes, compactions
+    "io",      # file layer: reads, checksums, fdatasync
+    "net",     # admin HTTP endpoint
+    "obs",     # the obs subsystem's own internals
+    "query",   # query engine stages
+    "sort",    # external sort
+    "store",   # sharded store: commits, journal, quarantine
+}
+
 RAW_SYNC_RE = re.compile(
     r"std::(recursive_mutex|timed_mutex|mutex|shared_mutex|shared_timed_mutex|"
     r"condition_variable_any|condition_variable|lock_guard|unique_lock|"
@@ -139,6 +154,12 @@ def check_file(path, findings):
                     (relpath, lineno, "metric-name",
                      f'"{name}" is not a lowercase dotted path '
                      "(see src/obs/README.md)"))
+            elif name.split(".")[0] not in KNOWN_COMPONENTS:
+                findings.append(
+                    (relpath, lineno, "metric-name",
+                     f'"{name}" starts with unknown component '
+                     f'"{name.split(".")[0]}"; add it to KNOWN_COMPONENTS '
+                     "in tools/lint.py and the src/obs/README.md table"))
             elif (kind == "Histogram" and not name.endswith("_ns")
                   and name not in DIMENSIONLESS_HISTOGRAMS):
                 findings.append(
