@@ -1,0 +1,10 @@
+#include "src/common/context.h"
+
+namespace coconut {
+
+const Context& Context::Background() {
+  static const Context kBackground;
+  return kBackground;
+}
+
+}  // namespace coconut

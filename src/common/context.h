@@ -1,0 +1,169 @@
+// Request context: deadline + cooperative cancellation + priority, threaded
+// through every long-running path (query search loops, store commits,
+// external sort stages). See docs/ROBUSTNESS.md for the check-point
+// granularity each layer guarantees.
+//
+// Design constraints:
+//  - The no-deadline default must be effectively free: a caller that never
+//    sets a deadline or cancel token pays one branch per check (Check() on a
+//    default Context is two compares, no clock read, no atomic).
+//  - Checks are cooperative: nothing is interrupted mid-I/O. A layer promises
+//    to poll at its documented granularity (leaf fetch for searches, stage
+//    boundary for commits, run/merge boundary for sorts), so the worst-case
+//    overrun is one unit of that granularity.
+//  - Context is a small value type; it does not own the CancelToken. The
+//    token must outlive every operation that was handed a Context pointing
+//    at it (typically: token on the caller's stack, CancelGuard below it).
+#ifndef COCONUT_COMMON_CONTEXT_H_
+#define COCONUT_COMMON_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace coconut {
+
+/// \brief Shared cancellation flag, flipped once by the canceller and polled
+/// (relaxed) by workers. Relaxed is sufficient: cancellation carries no data
+/// dependency — observers only need to see the flag eventually, and every
+/// polling site sits next to real work (I/O, page scans) that bounds the lag.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief RAII canceller: fires the token when the owning scope unwinds, so
+/// work observing the Context stops once the caller no longer wants the
+/// answer (client disconnect, early return, exception-free error unwind).
+/// Call Release() after a normal completion to keep the token clean.
+class CancelGuard {
+ public:
+  explicit CancelGuard(CancelToken* token) : token_(token) {}
+  ~CancelGuard() {
+    if (token_ != nullptr) token_->Cancel();
+  }
+  CancelGuard(const CancelGuard&) = delete;
+  CancelGuard& operator=(const CancelGuard&) = delete;
+
+  /// Detaches the guard: the destructor becomes a no-op.
+  void Release() { token_ = nullptr; }
+
+ private:
+  CancelToken* token_;
+};
+
+/// \brief Per-request deadline / cancellation / priority bundle.
+///
+/// Passed by const reference (or stashed as a const pointer in scratch
+/// state); copying is cheap. The default-constructed Context never expires
+/// and is what every API defaults to, so existing callers are unaffected.
+class Context {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Priority : std::uint8_t {
+    kBackground = 0,  // compaction, maintenance
+    kDefault = 1,     // ordinary ingest/query traffic
+    kInteractive = 2, // latency-sensitive foreground queries
+  };
+
+  Context() = default;
+
+  /// The shared no-deadline, no-cancellation context; default for every
+  /// Context-accepting API. Lives for the process lifetime.
+  static const Context& Background();
+
+  /// Absolute-deadline constructor.
+  static Context WithDeadline(Clock::time_point deadline) {
+    Context ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  /// Relative-deadline convenience: now + timeout.
+  static Context WithTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  Context& set_cancel_token(const CancelToken* token) {
+    cancel_ = token;
+    return *this;
+  }
+  Context& set_priority(Priority p) {
+    priority_ = p;
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  const CancelToken* cancel_token() const { return cancel_; }
+  Priority priority() const { return priority_; }
+
+  /// Time left before the deadline (clamped at zero), or
+  /// nanoseconds::max() when no deadline is set.
+  std::chrono::nanoseconds remaining() const {
+    if (!has_deadline_) return std::chrono::nanoseconds::max();
+    auto left = deadline_ - Clock::now();
+    if (left < std::chrono::nanoseconds::zero()) {
+      return std::chrono::nanoseconds::zero();
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(left);
+  }
+
+  /// Deadline expired? (Never true without a deadline; costs one clock read
+  /// only when a deadline is set.)
+  bool expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+
+  /// The cooperative poll: OK while live, Aborted once cancelled,
+  /// DeadlineExceeded once past the deadline. `where` names the check site
+  /// ("tree.leaf", "store.commit.stage", ...) so the error pinpoints which
+  /// layer gave up. Cancellation is checked first — a cancelled request
+  /// should report Aborted even if its deadline also lapsed.
+  Status Check(const char* where) const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::Aborted(std::string("cancelled at ") + where);
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded(std::string("deadline exceeded at ") +
+                                      where);
+    }
+    return Status::OK();
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  const CancelToken* cancel_ = nullptr;
+  bool has_deadline_ = false;
+  Priority priority_ = Priority::kDefault;
+};
+
+/// Polls an optional context: `ctx` may be null (the common fast path in
+/// scratch state), in which case this is a single branch.
+#define COCONUT_CHECK_CONTEXT(ctx, where)                   \
+  do {                                                      \
+    if ((ctx) != nullptr) {                                 \
+      ::coconut::Status _ctx_st = (ctx)->Check(where);      \
+      if (!_ctx_st.ok()) return _ctx_st;                    \
+    }                                                       \
+  } while (false)
+
+}  // namespace coconut
+
+#endif  // COCONUT_COMMON_CONTEXT_H_

@@ -27,6 +27,15 @@ std::string Status::ToString() const {
     case Code::kInternal:
       name = "Internal";
       break;
+    case Code::kDeadlineExceeded:
+      name = "DeadlineExceeded";
+      break;
+    case Code::kResourceExhausted:
+      name = "ResourceExhausted";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
   }
   std::string out(name);
   if (!msg_.empty()) {

@@ -23,6 +23,9 @@ class Status {
     kInvalidArgument = 4,
     kIOError = 5,
     kInternal = 6,
+    kDeadlineExceeded = 7,
+    kResourceExhausted = 8,
+    kAborted = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +51,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -56,6 +68,25 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  /// True when the failure is a load/timing condition that can succeed on a
+  /// plain retry: the operation was shed (kResourceExhausted) or gave up a
+  /// lock/epoch without side effects (kAborted). DeadlineExceeded is NOT
+  /// transient — the caller's time budget is gone, retrying inside the same
+  /// request only makes the overrun worse. Data errors (Corruption, IOError,
+  /// InvalidArgument, ...) are never transient at this level; syscall-level
+  /// transience (EINTR/EAGAIN) is classified by errno in src/io/retry.h
+  /// before it ever becomes a Status.
+  bool IsTransient() const {
+    return code_ == Code::kResourceExhausted || code_ == Code::kAborted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

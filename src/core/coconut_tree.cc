@@ -211,7 +211,10 @@ Status CoconutTree::EntryDistanceSq(const uint8_t* entry, const Value* query,
                                      bound_sq);
     return Status::OK();
   }
-  // scratch->fetch was sized by Prepare() in the calling search.
+  // scratch->fetch was sized by Prepare() in the calling search. Each
+  // entry is a raw-file read, so poll per fetch (the per-leaf poll in the
+  // caller is too coarse when every entry costs real I/O).
+  COCONUT_CHECK_CONTEXT(scratch->context, "tree.approx.fetch");
   COCONUT_RETURN_IF_ERROR(
       raw_file_->ReadAt(DecodeLeafEntryOffset(entry), scratch->fetch.data()));
   *dist_sq = SquaredEuclideanEarlyAbandon(scratch->fetch.data(), query, n,
@@ -256,6 +259,7 @@ Status CoconutTree::ApproxSearch(const Value* query, size_t num_leaves,
   uint64_t visited = 0;
   std::vector<uint8_t>& page = scratch->page;
   for (uint64_t lf = lo; lf <= hi; ++lf) {
+    COCONUT_CHECK_CONTEXT(scratch->context, "tree.approx.leaf");
     size_t cnt;
     COCONUT_RETURN_IF_ERROR(ReadLeafPage(lf, &page, &cnt));
     for (size_t i = 0; i < cnt; ++i) {
@@ -380,6 +384,7 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
       if (mindists[i] >= knn.bound_sq()) continue;
       const uint64_t leaf = i / super_.entries_per_leaf;
       if (leaf != cached_leaf) {
+        COCONUT_CHECK_CONTEXT(scratch->context, "tree.exact.leaf");
         COCONUT_RETURN_IF_ERROR(ReadLeafPage(leaf, &page, &cached_cnt));
         cached_leaf = leaf;
         ++leaves_read;
@@ -394,6 +399,9 @@ Status CoconutTree::ExactSearch(const Value* query, size_t approx_leaves,
   } else {
     for (uint64_t i = 0; i < n; ++i) {
       if (mindists[i] >= knn.bound_sq()) continue;
+      // Each unpruned entry is a raw-file read, so the per-fetch poll stays
+      // proportionate to real I/O.
+      COCONUT_CHECK_CONTEXT(scratch->context, "tree.exact.fetch");
       COCONUT_RETURN_IF_ERROR(
           raw_file_->ReadAt(sims_offsets_[i], scratch->fetch.data()));
       const double d = SquaredEuclideanEarlyAbandon(

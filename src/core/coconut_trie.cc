@@ -563,6 +563,7 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
   std::vector<uint8_t>& page = scratch->page;
   const size_t n = sum.series_length;
   for (uint64_t p = lo; p <= hi; ++p) {
+    COCONUT_CHECK_CONTEXT(scratch->context, "trie.approx.page");
     size_t cnt;
     COCONUT_RETURN_IF_ERROR(ReadPage(p, &page, &cnt));
     for (size_t i = 0; i < cnt; ++i) {
@@ -572,7 +573,10 @@ Status CoconutTrie::ApproxSearch(const Value* query, size_t num_pages,
         d = SquaredEuclideanEarlyAbandon(LeafEntrySeries(entry), query, n,
                                          knn.bound_sq());
       } else {
-        // scratch->fetch was sized by Prepare() above.
+        // scratch->fetch was sized by Prepare() above. Each entry is a
+        // raw-file read, so poll per fetch (the per-page poll above is too
+        // coarse when every entry costs real I/O).
+        COCONUT_CHECK_CONTEXT(scratch->context, "trie.approx.fetch");
         COCONUT_RETURN_IF_ERROR(
             raw_file_->ReadAt(DecodeLeafEntryOffset(entry),
                               scratch->fetch.data()));
@@ -678,6 +682,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
       const size_t slot =
           static_cast<size_t>(in_leaf % super_.leaf_capacity);
       if (pg != cached_page) {
+        COCONUT_CHECK_CONTEXT(scratch->context, "trie.exact.page");
         COCONUT_RETURN_IF_ERROR(ReadPage(pg, &page, &cached_cnt));
         cached_page = pg;
         ++pages_read;
@@ -691,6 +696,7 @@ Status CoconutTrie::ExactSearch(const Value* query, size_t approx_pages,
   } else {
     for (uint64_t i = 0; i < super_.num_entries; ++i) {
       if (mindists[i] >= knn.bound_sq()) continue;
+      COCONUT_CHECK_CONTEXT(scratch->context, "trie.exact.fetch");
       COCONUT_RETURN_IF_ERROR(
           raw_file_->ReadAt(sims_offsets_[i], scratch->fetch.data()));
       const double d = SquaredEuclideanEarlyAbandon(

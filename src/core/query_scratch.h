@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/context.h"
 #include "src/obs/query_trace.h"
 #include "src/series/series.h"
 
@@ -25,6 +26,11 @@ struct QueryScratch {
   /// visited/pruned counters and stage timings into it (plain writes — the
   /// trace is owned by this query execution). Null = no tracing cost.
   QueryTrace* trace = nullptr;
+
+  /// Optional request context: when set, the search paths poll it at leaf-
+  /// fetch granularity and return DeadlineExceeded/Aborted mid-search (see
+  /// docs/ROBUSTNESS.md). Null = one pointer compare per leaf visit.
+  const Context* context = nullptr;
 
   /// Sizes the fixed-size buffers for an index's summary options once; a
   /// no-op when already sized, so the query hot loops (per-entry distance

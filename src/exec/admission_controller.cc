@@ -1,0 +1,73 @@
+#include "src/exec/admission_controller.h"
+
+#include "src/obs/metrics.h"
+
+namespace coconut {
+
+namespace {
+
+struct AdmissionMetrics {
+  Counter* admitted;
+  Counter* shed;
+  Gauge* inflight;
+  Gauge* queued_bytes;
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics m = [] {
+    MetricRegistry& reg = MetricRegistry::Default();
+    AdmissionMetrics mm;
+    mm.admitted = reg.GetCounter("exec.admission.admitted");
+    mm.shed = reg.GetCounter("exec.admission.shed");
+    mm.inflight = reg.GetGauge("exec.admission.inflight");
+    mm.queued_bytes = reg.GetGauge("exec.admission.queued_bytes");
+    return mm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Status AdmissionController::Admit(size_t bytes, Ticket* ticket) {
+  // Optimistic admission: bump both gauges, then check the gates and roll
+  // back on overshoot. Two admitters racing at the boundary may both
+  // observe overshoot and both shed — acceptable: the gates are resource
+  // bounds, not fair-share rationing, and the window is a few instructions.
+  const size_t inflight_now =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const size_t bytes_now =
+      queued_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const bool over_inflight =
+      options_.max_inflight != 0 && inflight_now > options_.max_inflight;
+  const bool over_bytes = options_.max_queued_bytes != 0 &&
+                          bytes_now > options_.max_queued_bytes;
+  if (over_inflight || over_bytes) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed->Increment();
+    return Status::ResourceExhausted(
+        over_inflight ? "admission: max inflight batches reached"
+                      : "admission: max queued bytes reached");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  AdmissionMetrics& m = Metrics();
+  m.admitted->Increment();
+  m.inflight->Add(1);
+  m.queued_bytes->Add(static_cast<int64_t>(bytes));
+  *ticket = Ticket(this, bytes);
+  return Status::OK();
+}
+
+void AdmissionController::Finish(size_t bytes) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  AdmissionMetrics& m = Metrics();
+  m.inflight->Add(-1);
+  m.queued_bytes->Add(-static_cast<int64_t>(bytes));
+}
+
+}  // namespace coconut

@@ -1,0 +1,101 @@
+// Admission control for query execution: bounded in-flight batches and
+// bounded queued payload bytes. When either gate is full the request is shed
+// immediately with Status::ResourceExhausted instead of queueing unboundedly
+// behind the ThreadPool — a shed costs microseconds, an unbounded queue
+// costs every later request its latency. See docs/ROBUSTNESS.md.
+//
+// Counters are lock-free; admission is a compare-and-retry over a packed
+// (inflight, bytes) pair kept as two atomics with optimistic admission and
+// rollback on overshoot. Exactness at the boundary is not required — the
+// gates bound resources, they do not ration them fairly.
+#ifndef COCONUT_EXEC_ADMISSION_CONTROLLER_H_
+#define COCONUT_EXEC_ADMISSION_CONTROLLER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace coconut {
+
+struct AdmissionOptions {
+  /// Maximum batches executing concurrently; 0 = unlimited.
+  size_t max_inflight = 0;
+  /// Maximum total payload bytes admitted-and-executing; 0 = unlimited.
+  size_t max_queued_bytes = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission ticket: releases the controller's inflight/bytes budget
+  /// when destroyed. Default-constructed tickets are empty (no-op release),
+  /// so callers without a controller share the same code path.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : controller_(other.controller_), bytes_(other.bytes_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      bytes_ = other.bytes_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->Finish(bytes_);
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, size_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+    AdmissionController* controller_ = nullptr;
+    size_t bytes_ = 0;
+  };
+
+  /// Admits one batch carrying `bytes` of query payload, or sheds it with
+  /// ResourceExhausted. On success `*ticket` holds the admission and must
+  /// stay alive for the duration of the batch.
+  Status Admit(size_t bytes, Ticket* ticket);
+
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  size_t queued_bytes() const {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class Ticket;
+  void Finish(size_t bytes);
+
+  const AdmissionOptions options_;
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> queued_bytes_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_EXEC_ADMISSION_CONTROLLER_H_

@@ -5,6 +5,7 @@
 #include "src/common/sync.h"
 #include "src/common/timer.h"
 #include "src/io/io_stats.h"
+#include "src/io/retry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slow_query_log.h"
 #include "src/obs/trace.h"
@@ -102,9 +103,14 @@ class BatchScope {
 template <typename Scratch, typename Fn>
 Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
                 bool flush_per_item, std::vector<QueryTrace>* item_traces,
-                const Fn& one) {
+                const Context& ctx, const Fn& one) {
   Status first_error = Status::OK();
   Mutex error_mu;
+  // Hot-path form of the context: null when the batch carries no deadline
+  // and no cancel token, so the per-leaf polls inside the searches stay a
+  // single pointer compare.
+  const Context* item_ctx =
+      (ctx.has_deadline() || ctx.cancel_token() != nullptr) ? &ctx : nullptr;
   pool->ParallelFor(
       0, num_items, /*grain=*/0,
       [&](uint64_t lo, uint64_t hi) {
@@ -112,8 +118,22 @@ Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
         // ("io.query.*"). Per-thread: nested fan-out (SIMS lower bounds)
         // does no file I/O, so the coarse scope is accurate.
         IoComponentScope io_scope("query");
+        // Ambient context for the I/O layer: retry backoff under this chunk
+        // never sleeps past the batch deadline (src/io/retry.h).
+        IoDeadlineScope io_deadline(item_ctx);
         Scratch scratch;
+        scratch.context = item_ctx;
         for (uint64_t i = lo; i < hi; ++i) {
+          // Give up before dispatching an item once the batch is dead; the
+          // first DeadlineExceeded/Aborted is kept as the batch status.
+          if (item_ctx != nullptr) {
+            Status ctx_st = item_ctx->Check("query.item");
+            if (!ctx_st.ok()) {
+              MutexLock lock(&error_mu);
+              if (first_error.ok()) first_error = ctx_st;
+              return;
+            }
+          }
           QueryTrace trace;
           scratch.trace = &trace;
           // Both clocks start at this item's dispatch (not batch start):
@@ -140,17 +160,28 @@ Status RunBatch(ThreadPool* pool, size_t num_items, bool exact,
 
 }  // namespace
 
+Status QueryEngine::Admit(const std::vector<Series>& queries,
+                          AdmissionController::Ticket* ticket) const {
+  if (admission_ == nullptr) return Status::OK();
+  size_t bytes = 0;
+  for (const Series& q : queries) bytes += q.size() * sizeof(Value);
+  return admission_->Admit(bytes, ticket);
+}
+
 Status QueryEngine::ExecuteBatch(const CoconutTree& tree,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
+  AdmissionController::Ticket ticket;
+  COCONUT_RETURN_IF_ERROR(Admit(queries, &ticket));
   BatchScope batch;
   results->assign(queries.size(), SearchResult{});
   if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
   const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTree::QueryScratch>(
-      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces, ctx,
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
@@ -166,9 +197,10 @@ Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
   return ExecuteBatch(forest, forest.GetSnapshot(), queries, spec, results,
-                      traces);
+                      traces, ctx);
 }
 
 Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
@@ -176,13 +208,16 @@ Status QueryEngine::ExecuteBatch(const CoconutForest& forest,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
+  AdmissionController::Ticket ticket;
+  COCONUT_RETURN_IF_ERROR(Admit(queries, &ticket));
   BatchScope batch;
   results->assign(queries.size(), SearchResult{});
   if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
   const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTree::QueryScratch>(
-      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces, ctx,
       [&](uint64_t i, CoconutTree::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
@@ -197,13 +232,16 @@ Status QueryEngine::ExecuteBatch(const CoconutTrie& trie,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
+  AdmissionController::Ticket ticket;
+  COCONUT_RETURN_IF_ERROR(Admit(queries, &ticket));
   BatchScope batch;
   results->assign(queries.size(), SearchResult{});
   if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
   const bool exact = spec.mode == QuerySpec::Mode::kExact;
   return RunBatch<CoconutTrie::QueryScratch>(
-      pool_, queries.size(), exact, /*flush_per_item=*/true, traces,
+      pool_, queries.size(), exact, /*flush_per_item=*/true, traces, ctx,
       [&](uint64_t i, CoconutTrie::QueryScratch* scratch) {
         const Value* q = queries[i].data();
         SearchResult* r = &(*results)[i];
@@ -219,9 +257,10 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
   return ExecuteBatch(store, store.GetSnapshot(), queries, spec, results,
-                      traces);
+                      traces, ctx);
 }
 
 Status QueryEngine::ExecuteBatch(const ShardedStore& store,
@@ -229,7 +268,10 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
                                  const std::vector<Series>& queries,
                                  const QuerySpec& spec,
                                  std::vector<SearchResult>* results,
-                                 std::vector<QueryTrace>* traces) const {
+                                 std::vector<QueryTrace>* traces,
+                                 const Context& ctx) const {
+  AdmissionController::Ticket ticket;
+  COCONUT_RETURN_IF_ERROR(Admit(queries, &ticket));
   BatchScope batch;
   results->assign(queries.size(), SearchResult{});
   if (traces != nullptr) traces->assign(queries.size(), QueryTrace{});
@@ -249,7 +291,7 @@ Status QueryEngine::ExecuteBatch(const ShardedStore& store,
   std::vector<SearchResult> cells(queries.size() * num_shards);
   std::vector<QueryTrace> cell_traces(cells.size());
   COCONUT_RETURN_IF_ERROR(RunBatch<CoconutTree::QueryScratch>(
-      pool_, cells.size(), exact, /*flush_per_item=*/false, &cell_traces,
+      pool_, cells.size(), exact, /*flush_per_item=*/false, &cell_traces, ctx,
       [&](uint64_t cell, CoconutTree::QueryScratch* scratch) {
         const size_t qi = static_cast<size_t>(cell) / num_shards;
         const size_t si = static_cast<size_t>(cell) % num_shards;

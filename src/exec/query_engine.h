@@ -30,10 +30,12 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/context.h"
 #include "src/common/status.h"
 #include "src/core/coconut_forest.h"
 #include "src/core/coconut_tree.h"
 #include "src/core/coconut_trie.h"
+#include "src/exec/admission_controller.h"
 #include "src/exec/thread_pool.h"
 #include "src/obs/query_trace.h"
 #include "src/series/series.h"
@@ -54,9 +56,13 @@ struct QuerySpec {
 
 class QueryEngine {
  public:
-  /// Uses the given pool (defaults to the process-wide shared pool).
-  explicit QueryEngine(ThreadPool* pool = ThreadPool::Shared())
-      : pool_(pool) {}
+  /// Uses the given pool (defaults to the process-wide shared pool). When
+  /// `admission` is non-null every batch passes its gates first and may be
+  /// shed with ResourceExhausted before any work is queued (see
+  /// src/exec/admission_controller.h); null = no gating, no overhead.
+  explicit QueryEngine(ThreadPool* pool = ThreadPool::Shared(),
+                       AdmissionController* admission = nullptr)
+      : pool_(pool), admission_(admission) {}
 
   /// Runs every query against `tree`; `results` is resized to match
   /// `queries` and results are positionally aligned. On error the first
@@ -66,11 +72,19 @@ class QueryEngine {
   /// process-wide MetricRegistry ("query.*"), and — when `traces` is
   /// non-null — additionally returns the per-query QueryTrace, positionally
   /// aligned with `queries`.
+  ///
+  /// `ctx` bounds the batch: its deadline/cancellation is polled at leaf-
+  /// fetch granularity inside every search (default Background() = no
+  /// deadline, one pointer compare per poll). On DeadlineExceeded/Aborted
+  /// the first failing status is returned; `results` entries for queries
+  /// that had not finished are unspecified (default-constructed or partial
+  /// never dangling). `ctx` must outlive the call only — it is not retained.
   Status ExecuteBatch(const CoconutTree& tree,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
   /// Snapshot-isolated batch over a forest: takes one snapshot and runs
   /// every query against it, concurrently with any writers.
@@ -78,7 +92,8 @@ class QueryEngine {
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
   /// Same, against a caller-held snapshot (e.g. to run several batches
   /// against the exact same state).
@@ -87,14 +102,16 @@ class QueryEngine {
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
   /// Runs every query against a (const, thread-safe) trie.
   Status ExecuteBatch(const CoconutTrie& trie,
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
   /// Store-wide snapshot-isolated batch: takes one ShardedStore::Snapshot
   /// and fans every query out across the per-shard snapshots (the work
@@ -106,7 +123,8 @@ class QueryEngine {
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
   /// Same, against a caller-held store snapshot.
   Status ExecuteBatch(const ShardedStore& store,
@@ -114,10 +132,17 @@ class QueryEngine {
                       const std::vector<Series>& queries,
                       const QuerySpec& spec,
                       std::vector<SearchResult>* results,
-                      std::vector<QueryTrace>* traces = nullptr) const;
+                      std::vector<QueryTrace>* traces = nullptr,
+                      const Context& ctx = Context::Background()) const;
 
  private:
+  /// Passes the admission gates (no-op without a controller). On success
+  /// `*ticket` holds the batch's budget for the caller's scope.
+  Status Admit(const std::vector<Series>& queries,
+               AdmissionController::Ticket* ticket) const;
+
   ThreadPool* pool_;
+  AdmissionController* admission_;
 };
 
 }  // namespace coconut

@@ -10,8 +10,9 @@
 
 #include "src/common/env.h"
 #include "src/common/failpoint.h"
-#include "src/obs/metrics.h"
 #include "src/io/io_stats.h"
+#include "src/io/retry.h"
+#include "src/obs/metrics.h"
 
 namespace coconut {
 
@@ -40,30 +41,43 @@ Status RandomAccessFile::Open(const std::string& path,
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n, void* buf) {
-  FAILPOINT_ARG("io.file.read", n);
   // Classification is best-effort under concurrency: the tracker holds the
   // end offset of whichever read on this handle updated it last.
   const bool random =
       (offset != next_sequential_offset_.load(std::memory_order_relaxed));
-  uint8_t* dst = static_cast<uint8_t*>(buf);
-  size_t remaining = n;
-  uint64_t pos = offset;
-  while (remaining > 0) {
-    ssize_t r = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pread", path_));
+  // Positional reads are side-effect free, so a failed attempt (EAGAIN, an
+  // injected fault, a transient device error) can simply be reissued from
+  // the start; see src/io/retry.h for the taxonomy and backoff bounds.
+  RetryState retry("io.file.read");
+  for (;;) {
+    Status st = [&]() -> Status {
+      FAILPOINT_ARG("io.file.read", n);
+      uint8_t* dst = static_cast<uint8_t*>(buf);
+      size_t remaining = n;
+      uint64_t pos = offset;
+      while (remaining > 0) {
+        ssize_t r = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          return Status::IOError(ErrnoMessage("pread", path_));
+        }
+        if (r == 0) {
+          return Status::IOError("pread " + path_ + ": unexpected EOF");
+        }
+        dst += r;
+        pos += static_cast<uint64_t>(r);
+        remaining -= static_cast<size_t>(r);
+      }
+      return Status::OK();
+    }();
+    if (st.ok()) {
+      retry.NoteSuccess();
+      next_sequential_offset_.store(offset + n, std::memory_order_relaxed);
+      IoStats::Instance().RecordRead(n, random);
+      return st;
     }
-    if (r == 0) {
-      return Status::IOError("pread " + path_ + ": unexpected EOF");
-    }
-    dst += r;
-    pos += static_cast<uint64_t>(r);
-    remaining -= static_cast<size_t>(r);
+    if (!retry.ShouldRetry(st)) return st;
   }
-  next_sequential_offset_.store(offset + n, std::memory_order_relaxed);
-  IoStats::Instance().RecordRead(n, random);
-  return Status::OK();
 }
 
 WritableFile::~WritableFile() {
@@ -100,45 +114,63 @@ Status WritableFile::Append(const void* data, size_t n) {
 }
 
 Status WritableFile::WriteAt(uint64_t offset, const void* data, size_t n) {
-  // Every write in the process funnels through here, so this one failpoint
-  // gives all subsystems injected I/O errors, torn writes (a prefix is
-  // persisted, then the write reports failure — a crashed sector), and
-  // silent single-bit flips (persisted "successfully" — latent media
-  // corruption for the checksum layer to catch).
-  Failpoints::WriteFault fault;
-  COCONUT_RETURN_IF_ERROR(
-      Failpoints::Default().HitWrite("io.file.write", n, &fault));
-  const uint8_t* src = static_cast<const uint8_t*>(data);
-  std::vector<uint8_t> flipped;
-  if (fault.bit_flip && n > 0) {
-    flipped.assign(src, src + n);
-    flipped[fault.flip_index / 8] ^=
-        static_cast<uint8_t>(1u << (fault.flip_index % 8));
-    src = flipped.data();
-  }
-  const size_t target = fault.torn ? fault.torn_bytes : n;
   const bool random = (offset != append_offset_);
-  size_t remaining = target;
-  uint64_t pos = offset;
-  while (remaining > 0) {
-    ssize_t w = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(ErrnoMessage("pwrite", path_));
+  // Writes retry only while nothing of this attempt persisted: once a
+  // prefix is durable the failure is handed to the commit protocol (which
+  // owns torn-write recovery) instead of risking a blind reissue.
+  RetryState retry("io.file.write");
+  for (;;) {
+    size_t persisted = 0;
+    Status st = [&]() -> Status {
+      // Every write in the process funnels through here, so this one
+      // failpoint gives all subsystems injected I/O errors, torn writes (a
+      // prefix is persisted, then the write reports failure — a crashed
+      // sector), and silent single-bit flips (persisted "successfully" —
+      // latent media corruption for the checksum layer to catch).
+      Failpoints::WriteFault fault;
+      COCONUT_RETURN_IF_ERROR(
+          Failpoints::Default().HitWrite("io.file.write", n, &fault));
+      const uint8_t* src = static_cast<const uint8_t*>(data);
+      std::vector<uint8_t> flipped;
+      if (fault.bit_flip && n > 0) {
+        flipped.assign(src, src + n);
+        flipped[fault.flip_index / 8] ^=
+            static_cast<uint8_t>(1u << (fault.flip_index % 8));
+        src = flipped.data();
+      }
+      const size_t target = fault.torn ? fault.torn_bytes : n;
+      size_t remaining = target;
+      uint64_t pos = offset;
+      while (remaining > 0) {
+        ssize_t w = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return Status::IOError(ErrnoMessage("pwrite", path_));
+        }
+        src += w;
+        pos += static_cast<uint64_t>(w);
+        remaining -= static_cast<size_t>(w);
+        persisted += static_cast<size_t>(w);
+      }
+      if (fault.torn) {
+        if (offset + target > append_offset_) {
+          append_offset_ = offset + target;
+        }
+        return Status::IOError("failpoint: io.file.write (torn after " +
+                               std::to_string(target) + " of " +
+                               std::to_string(n) + " bytes to " + path_ +
+                               ")");
+      }
+      return Status::OK();
+    }();
+    if (st.ok()) {
+      retry.NoteSuccess();
+      if (offset + n > append_offset_) append_offset_ = offset + n;
+      IoStats::Instance().RecordWrite(n, random);
+      return st;
     }
-    src += w;
-    pos += static_cast<uint64_t>(w);
-    remaining -= static_cast<size_t>(w);
+    if (persisted > 0 || !retry.ShouldRetry(st)) return st;
   }
-  if (fault.torn) {
-    if (offset + target > append_offset_) append_offset_ = offset + target;
-    return Status::IOError("failpoint: io.file.write (torn after " +
-                           std::to_string(target) + " of " +
-                           std::to_string(n) + " bytes to " + path_ + ")");
-  }
-  if (offset + n > append_offset_) append_offset_ = offset + n;
-  IoStats::Instance().RecordWrite(n, random);
-  return Status::OK();
 }
 
 Status WritableFile::Sync() {

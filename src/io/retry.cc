@@ -1,0 +1,99 @@
+#include "src/io/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace coconut {
+
+namespace {
+
+thread_local const Context* g_io_context = nullptr;
+
+struct RetryMetrics {
+  Counter* attempts;
+  Counter* recovered;
+  Counter* exhausted;
+};
+
+RetryMetrics& Metrics() {
+  static RetryMetrics m = [] {
+    MetricRegistry& reg = MetricRegistry::Default();
+    return RetryMetrics{
+        reg.GetCounter("io.retry.attempts"),
+        reg.GetCounter("io.retry.recovered"),
+        reg.GetCounter("io.retry.exhausted"),
+    };
+  }();
+  return m;
+}
+
+/// Permanent-by-content markers inside IOError messages. The torn-write and
+/// EOF shapes are produced by this layer itself (src/io/file.cc), so the
+/// coupling is local to src/io/.
+bool PermanentIoError(const Status& st) {
+  const std::string& m = st.message();
+  return m.find("unexpected EOF") != std::string::npos ||
+         m.find("(torn") != std::string::npos;
+}
+
+}  // namespace
+
+const RetryPolicy& RetryPolicy::IoDefault() {
+  static const RetryPolicy kDefault;
+  return kDefault;
+}
+
+IoDeadlineScope::IoDeadlineScope(const Context* ctx) : prev_(g_io_context) {
+  g_io_context = ctx;
+}
+
+IoDeadlineScope::~IoDeadlineScope() { g_io_context = prev_; }
+
+const Context* IoDeadlineScope::Current() { return g_io_context; }
+
+bool RetryState::ShouldRetry(const Status& st) {
+  // Only I/O-shaped failures are retried here; higher-level taxonomy
+  // (ResourceExhausted/Aborted) belongs to the caller's loop, and data
+  // errors (Corruption, InvalidArgument, ...) never heal on retry.
+  if (!st.IsIOError() || PermanentIoError(st)) return false;
+  if (attempts_used_ + 1 >= policy_->max_attempts) {
+    Metrics().exhausted->Increment();
+    return false;
+  }
+  // Deadline-aware backoff: never sleep past the ambient deadline, and do
+  // not bother retrying at all once the request is dead.
+  uint64_t backoff_us = policy_->initial_backoff_us;
+  for (int i = 0; i < attempts_used_; ++i) {
+    backoff_us = static_cast<uint64_t>(
+        static_cast<double>(backoff_us) * policy_->backoff_multiplier);
+    if (backoff_us >= policy_->max_backoff_us) break;
+  }
+  backoff_us = std::min(backoff_us, policy_->max_backoff_us);
+  const Context* ctx = g_io_context;
+  if (ctx != nullptr) {
+    if (ctx->cancelled() || ctx->expired()) return false;
+    const auto remaining_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            ctx->remaining())
+            .count();
+    if (remaining_us <= 0) return false;
+    backoff_us = std::min<uint64_t>(
+        backoff_us, static_cast<uint64_t>(remaining_us));
+  }
+  ++attempts_used_;
+  Metrics().attempts->Increment();
+  if (backoff_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+  }
+  return true;
+}
+
+void RetryState::NoteSuccess() {
+  if (attempts_used_ > 0) Metrics().recovered->Increment();
+}
+
+}  // namespace coconut

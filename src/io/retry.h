@@ -1,0 +1,103 @@
+// Bounded, deadline-aware retry for transient file-I/O failures.
+//
+// Retry taxonomy (full table in docs/ROBUSTNESS.md):
+//  - EINTR        retried inline at the syscall loop, immediately, forever —
+//                 an interrupted syscall did nothing.
+//  - short read/  the pread/pwrite loops already resume partial transfers;
+//    short write  a short transfer is progress, not an error.
+//  - other read   positional reads are side-effect free, so any IOError
+//    errors       except a deterministic "unexpected EOF" (file really is
+//                 too short) is worth RetryPolicy::max_attempts tries with
+//                 exponential backoff. This also covers failpoint-injected
+//                 errors, which is how the tests drive this layer
+//                 (probability / budget actions on io.file.read).
+//  - write errors retried ONLY when no byte of the attempt persisted (the
+//                 failure came before the first successful pwrite); once a
+//                 prefix is durable a blind retry could interleave with a
+//                 concurrent append, so the error propagates to the commit
+//                 protocol, which owns recovery.
+//  - torn writes  never retried: the model is a crashed sector, the caller's
+//                 journal/checksum machinery is the answer.
+//  - fdatasync    never retried: after a failed fsync the kernel may have
+//                 dropped the dirty pages, so a second fsync that "succeeds"
+//                 proves nothing (the classic fsync-gate).
+//
+// Deadline awareness: the backoff sleeps consult the calling thread's
+// ambient request context (IoDeadlineScope). A retry never sleeps past the
+// deadline; once the context is expired or cancelled the original error
+// propagates immediately (the caller's next cooperative poll turns it into
+// DeadlineExceeded/Aborted with proper attribution).
+#ifndef COCONUT_IO_RETRY_H_
+#define COCONUT_IO_RETRY_H_
+
+#include <cstdint>
+
+#include "src/common/context.h"
+#include "src/common/status.h"
+
+namespace coconut {
+
+struct RetryPolicy {
+  /// Total tries including the first; <= 1 disables retry.
+  int max_attempts = 4;
+  uint64_t initial_backoff_us = 100;
+  double backoff_multiplier = 4.0;
+  uint64_t max_backoff_us = 20000;  // 20 ms
+
+  /// The process-default policy for the src/io/file.cc sites.
+  static const RetryPolicy& IoDefault();
+};
+
+/// RAII ambient context for I/O issued by this thread: the retry backoff
+/// consults it so a request with 30 ms left never burns 20 ms sleeping.
+/// Mirrors the IoComponentScope idiom (src/io/io_stats.h); scopes nest.
+class IoDeadlineScope {
+ public:
+  explicit IoDeadlineScope(const Context* ctx);
+  ~IoDeadlineScope();
+  IoDeadlineScope(const IoDeadlineScope&) = delete;
+  IoDeadlineScope& operator=(const IoDeadlineScope&) = delete;
+
+  /// The innermost scope's context on this thread, or null.
+  static const Context* Current();
+
+ private:
+  const Context* prev_;
+};
+
+/// Per-operation retry driver. Cheap to construct (no metrics touch until a
+/// failure happens); the file.cc sites build one per logical operation:
+///
+///   RetryState retry("io.file.read");
+///   for (;;) {
+///     Status st = AttemptOnce(...);
+///     if (st.ok()) { retry.NoteSuccess(); return st; }
+///     if (!retry.ShouldRetry(st)) return st;
+///   }
+class RetryState {
+ public:
+  explicit RetryState(const char* site,
+                      const RetryPolicy& policy = RetryPolicy::IoDefault())
+      : site_(site), policy_(&policy) {}
+
+  /// Classifies `st`, and when it is worth another attempt: sleeps the
+  /// (deadline-clamped) backoff, records io.retry.attempts, returns true.
+  /// Returns false when the error is permanent, attempts are exhausted
+  /// (io.retry.exhausted), or the ambient context is already dead.
+  bool ShouldRetry(const Status& st);
+
+  /// Records io.retry.recovered when the operation succeeded after >= 1
+  /// retry; call on the success path.
+  void NoteSuccess();
+
+  int attempts_used() const { return attempts_used_; }
+
+ private:
+  const char* site_;
+  const RetryPolicy* policy_;
+  int attempts_used_ = 0;  // retries performed so far
+};
+
+}  // namespace coconut
+
+#endif  // COCONUT_IO_RETRY_H_

@@ -143,6 +143,27 @@ std::string StatuszJson(uint64_t start_ns) {
                     reg.GetCounter("store.journal.checkpoints")->Value()));
   out += buf;
   out += "}";
+  // Admission-control summary: is the engine shedding load right now, and
+  // how much has it shed since start? (Counters are zero when no
+  // AdmissionController is wired in.)
+  out += ",\"admission\":{";
+  std::snprintf(buf, sizeof(buf), "\"admitted\":%llu",
+                static_cast<unsigned long long>(
+                    reg.GetCounter("exec.admission.admitted")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"shed\":%llu",
+                static_cast<unsigned long long>(
+                    reg.GetCounter("exec.admission.shed")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"inflight\":%lld",
+                static_cast<long long>(
+                    reg.GetGauge("exec.admission.inflight")->Value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"queued_bytes\":%lld",
+                static_cast<long long>(
+                    reg.GetGauge("exec.admission.queued_bytes")->Value()));
+  out += buf;
+  out += "}";
   out += ",\"gauges\":{";
   const RegistrySnapshot snap = MetricRegistry::Default().Snapshot();
   bool first = true;
@@ -261,11 +282,15 @@ void AdminServer::ServeLoop(int listen_fd) {
 void AdminServer::HandleConnection(int fd) {
   // Bounded blocking read of the request head. Clients are curl / scrape
   // loops on loopback; a 2 s receive timeout defends against a stalled
-  // connection pinning the (single) serve thread.
+  // connection pinning the (single) serve thread. The same bound applies
+  // to sends: a client that never drains its receive buffer would
+  // otherwise block the response loop forever once the socket buffer
+  // fills (large /metrics bodies make this reachable in practice).
   timeval tv;
   tv.tv_sec = 2;
   tv.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
   std::string req;
   char buf[2048];

@@ -10,6 +10,7 @@
 #include "src/common/env.h"
 #include "src/exec/thread_pool.h"
 #include "src/io/io_stats.h"
+#include "src/io/retry.h"
 #include "src/obs/stage_timer.h"
 #include "src/obs/trace.h"
 #include "src/sort/loser_tree.h"
@@ -353,6 +354,9 @@ Status ExternalSorter::AddBatch(const uint8_t* records, size_t n) {
 Status ExternalSorter::SpillBuffer() {
   const size_t count = buffer_.size() / options_.record_bytes;
   if (count == 0) return Status::OK();
+  // Run boundary: give up before sorting/writing another run once the
+  // caller's deadline is gone (spilled runs are cleaned by the destructor).
+  COCONUT_CHECK_CONTEXT(options_.context, "sort.spill");
   const std::string path = SpillPath("run");
   run_paths_.push_back(path);
   ++generated_runs_;
@@ -390,6 +394,7 @@ Status ExternalSorter::SortAndWriteRun(const std::vector<uint8_t>& records,
   // This may run on a pool worker (the double-buffered background spill),
   // so establish the I/O attribution scope here, not in the caller.
   IoComponentScope io_scope("sort");
+  IoDeadlineScope io_deadline(options_.context);
 
   TraceStages sort_spans;
   Stopwatch sort_watch;
@@ -428,6 +433,10 @@ Status ExternalSorter::MergeGroup(const std::vector<std::string>& inputs,
   ScopedTimer merge_timer(merge_ns);
   TraceSpan merge_span("sort.merge", "sort");
   IoComponentScope io_scope("sort");
+  IoDeadlineScope io_deadline(options_.context);
+  // Merge boundary: a group merge is all-or-nothing, so poll before
+  // starting one rather than mid-stream.
+  COCONUT_CHECK_CONTEXT(options_.context, "sort.merge_group");
   std::vector<std::unique_ptr<FileStream>> streams;
   streams.reserve(inputs.size());
   for (const std::string& path : inputs) {
@@ -517,8 +526,13 @@ Status ExternalSorter::PartitionedFinalMerge(
   }
   std::vector<Status> results(partitions);
   auto merge_partition = [&](size_t t) {
+    IoDeadlineScope io_deadline(options_.context);
     std::vector<std::unique_ptr<FileStream>> streams;
-    Status st;
+    // Partition boundary poll: concurrent partitions each give up before
+    // opening their slice once the deadline is gone.
+    Status st = options_.context != nullptr
+                    ? options_.context->Check("sort.final_merge.partition")
+                    : Status::OK();
     for (size_t i = 0; i < k && st.ok(); ++i) {
       const uint64_t first = boundaries[i][t];
       const uint64_t n = boundaries[i][t + 1] - first;
@@ -616,6 +630,9 @@ Status ExternalSorter::Finish(std::unique_ptr<SortedRecordStream>* out) {
 
   std::vector<std::string> current = run_paths_;
   while (true) {
+    // Pass boundary: each merge pass rewrites every surviving byte, so
+    // this is the coarsest point where abandoning the build saves work.
+    COCONUT_CHECK_CONTEXT(options_.context, "sort.merge_pass");
     if (current.size() == 1) {
       std::unique_ptr<FileStream> stream;
       COCONUT_RETURN_IF_ERROR(OpenDrainStream(options_, pool_ != nullptr,

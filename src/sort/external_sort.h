@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/context.h"
 #include "src/common/status.h"
 #include "src/io/buffered_io.h"
 
@@ -67,6 +68,13 @@ struct ExternalSortOptions {
   /// comparison sort. Both are stable and produce identical output; the
   /// switch exists for benchmarks and regression tests.
   bool use_radix = true;
+  /// Optional request context, polled at run/merge boundaries (run spill,
+  /// merge-group start, final-merge partition start): a build driven by a
+  /// caller with a deadline stops between stages with DeadlineExceeded /
+  /// Aborted and leaves only spill files behind (the sorter's destructor
+  /// and tmp-dir hygiene already handle abandoned runs). Must outlive the
+  /// sorter. Null = no polling.
+  const Context* context = nullptr;
 
   Status Validate() const {
     if (record_bytes == 0) {

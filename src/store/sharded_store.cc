@@ -8,6 +8,7 @@
 #include "src/common/failpoint.h"
 #include "src/core/knn.h"
 #include "src/io/io_stats.h"
+#include "src/io/retry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stage_timer.h"
 #include "src/obs/trace.h"
@@ -353,7 +354,8 @@ Status ShardedStore::Insert(const Series& series) {
   return TagShard(shard, shards_[shard]->Insert(series));
 }
 
-Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
+Status ShardedStore::InsertBatch(const std::vector<Series>& batch,
+                                 const Context& ctx) {
   if (batch.empty()) return Status::OK();
   const size_t n = options_.forest.tree.summary.series_length;
   for (const Series& s : batch) {
@@ -373,6 +375,9 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
   COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
+  // Clean abort point: nothing journaled, nothing staged — an expired
+  // deadline here costs the caller nothing but the routing work above.
+  COCONUT_RETURN_IF_ERROR(ctx.Check("store.insert"));
   if (single_shard) {
     // Fast path (always taken by 1-shard stores): the epoch journal is
     // skipped entirely. Crash semantics are the unsharded forest's
@@ -389,11 +394,11 @@ Status ShardedStore::InsertBatch(const std::vector<Series>& batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     buckets[owner[i]].push_back(batch[i]);
   }
-  return CommitCrossShardLocked(std::move(buckets));
+  return CommitCrossShardLocked(std::move(buckets), ctx);
 }
 
 Status ShardedStore::CommitCrossShardLocked(
-    std::vector<std::vector<Series>> buckets) {
+    std::vector<std::vector<Series>> buckets, const Context& ctx) {
   // Commit-protocol metrics: whole-epoch latency plus the staged-vs-
   // published breakdown (stage = durable appends, publish = visibility
   // flip under the lock).
@@ -418,6 +423,12 @@ Status ShardedStore::CommitCrossShardLocked(
   //    which shards it touches, where each slice will land, how many
   //    series each gets — BEFORE any shard is touched. O(shards), not
   //    O(batch).
+  // Last clean abort point: once the begin record is journaled the only
+  // abort path is the torn-epoch machinery (poison + reopen rollback),
+  // because later epochs appended behind an abandoned begin would read as
+  // an overlap at recovery.
+  COCONUT_RETURN_IF_ERROR(ctx.Check("store.commit.begin"));
+
   const uint64_t epoch = next_epoch_++;
   std::vector<EpochSlice> slices;
   slices.reserve(touched.size());
@@ -434,12 +445,19 @@ Status ShardedStore::CommitCrossShardLocked(
   //    saturated pool from stalling the write).
   std::vector<CoconutForest::StagedBatch> staged(buckets.size());
   std::vector<Status> stage_status(buckets.size());
-  auto stage_one = [this, &buckets, &staged](size_t i) {
+  const Context* stage_ctx =
+      (ctx.has_deadline() || ctx.cancel_token() != nullptr) ? &ctx : nullptr;
+  auto stage_one = [this, &buckets, &staged, stage_ctx](size_t i) {
     // Attribute the durable staging appends to the commit component
     // ("io.commit.*"); the epoch journal's own records are counted
     // separately in src/store/journal.cc.
     IoComponentScope io_scope("commit");
+    IoDeadlineScope io_deadline(stage_ctx);
     TraceSpan stage_span("store.shard_stage", "store");
+    // A deadline firing here fails this shard's stage exactly like an
+    // injected stage error: the epoch tears, the store poisons, and reopen
+    // rolls every staged slice back — nothing is ever published.
+    COCONUT_CHECK_CONTEXT(stage_ctx, "store.commit.shard_stage");
     COCONUT_RETURN_IF_ERROR(
         Failpoints::Default().Hit("store.commit.shard_stage", i));
     return shards_[i]->StageBatch(buckets[i], &staged[i]);
@@ -457,8 +475,12 @@ Status ShardedStore::CommitCrossShardLocked(
   stage_ns->Record(stage_watch.ElapsedNanos());
   commit_spans.Mark("store.commit.stage", "store");
   std::string failed;
+  bool ctx_deadline = false;
+  bool ctx_cancel = false;
   for (size_t i : touched) {
     if (stage_status[i].ok()) continue;
+    ctx_deadline |= stage_status[i].IsDeadlineExceeded();
+    ctx_cancel |= stage_status[i].IsAborted();
     if (!failed.empty()) failed += "; ";
     failed += "shard " + std::to_string(i) + ": " + stage_status[i].ToString();
   }
@@ -467,11 +489,28 @@ Status ShardedStore::CommitCrossShardLocked(
     // not. Name every failed shard (the journal keeps the partial state
     // recoverable; the status makes it observable) and poison the store so
     // the torn tail stays the LAST journaled epoch until recovery runs.
-    return Poison(Status::IOError("cross-shard batch torn at epoch " +
-                                  std::to_string(epoch) + ": " + failed));
+    // A deadline/cancellation abort keeps its code so the caller can tell
+    // "your budget ran out" from "the disk failed".
+    const std::string torn_msg = "cross-shard batch torn at epoch " +
+                                 std::to_string(epoch) + ": " + failed;
+    if (ctx_deadline) return Poison(Status::DeadlineExceeded(torn_msg));
+    if (ctx_cancel) return Poison(Status::Aborted(torn_msg));
+    return Poison(Status::IOError(torn_msg));
   }
 
-  // 3. Every slice is durable: commit the epoch.
+  // 3. Every slice is durable: commit the epoch. The deadline gets one
+  //    last poll before the commit record makes the epoch irrevocable;
+  //    past this point the batch always publishes, deadline or not.
+  {
+    const Status ctx_st = ctx.Check("store.commit.before_journal_commit");
+    if (!ctx_st.ok()) {
+      const std::string msg = "cross-shard batch torn at epoch " +
+                              std::to_string(epoch) + ": " +
+                              ctx_st.ToString();
+      return Poison(ctx_st.IsAborted() ? Status::Aborted(msg)
+                                       : Status::DeadlineExceeded(msg));
+    }
+  }
   COCONUT_RETURN_IF_ERROR(Poison(
       Failpoints::Default().Hit("store.commit.before_journal_commit")));
   COCONUT_RETURN_IF_ERROR(Poison(journal_->AppendCommit(epoch)));
@@ -579,7 +618,7 @@ Status ShardedStore::CommitManifestLocked() {
   return Status::OK();
 }
 
-Status ShardedStore::Flush() {
+Status ShardedStore::Flush(const Context& ctx) {
   static Histogram* flush_ns =
       MetricRegistry::Default().GetHistogram("store.flush_ns");
   ScopedTimer flush_timer(flush_ns);
@@ -587,12 +626,17 @@ Status ShardedStore::Flush() {
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
   COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
-  COCONUT_RETURN_IF_ERROR(
-      ForEachShardParallel([this](size_t i) { return shards_[i]->Flush(); }));
+  // Per-shard deadline poll: a shard flush is independently crash-
+  // consistent, so giving up between shards is safe (the skipped shards
+  // just keep their memtables).
+  COCONUT_RETURN_IF_ERROR(ForEachShardParallel([this, &ctx](size_t i) {
+    COCONUT_RETURN_IF_ERROR(ctx.Check("store.flush.shard"));
+    return shards_[i]->Flush();
+  }));
   return CommitManifestLocked();
 }
 
-Status ShardedStore::CompactAll() {
+Status ShardedStore::CompactAll(const Context& ctx) {
   // Level 1 of parallel compaction: independent shards compact
   // concurrently. Level 2 happens inside each shard, where the runs-merge
   // is chunked over the same pool (nested ParallelFor is deadlock-free by
@@ -600,8 +644,13 @@ Status ShardedStore::CompactAll() {
   MutexLock commit_lock(&commit_mu_);
   COCONUT_RETURN_IF_ERROR(PoisonStatus());
   COCONUT_RETURN_IF_ERROR(QuarantineWriteCheck());
-  COCONUT_RETURN_IF_ERROR(ForEachShardParallel(
-      [this](size_t i) { return shards_[i]->CompactAll(); }));
+  // Per-shard deadline poll, same contract as Flush: per-shard compactions
+  // are independent, so a deadline abort leaves some shards compacted and
+  // the rest untouched — never a half-compacted shard.
+  COCONUT_RETURN_IF_ERROR(ForEachShardParallel([this, &ctx](size_t i) {
+    COCONUT_RETURN_IF_ERROR(ctx.Check("store.compact.shard"));
+    return shards_[i]->CompactAll();
+  }));
   return CommitManifestLocked();
 }
 

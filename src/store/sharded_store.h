@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/context.h"
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/common/zkey.h"
@@ -164,15 +165,29 @@ class ShardedStore {
   /// from the next Flush/CompactAll); on a torn commit the returned
   /// Status names every failed shard and the store refuses further writes
   /// until reopened (recovery rolls the torn epoch back).
-  Status InsertBatch(const std::vector<Series>& batch);
+  ///
+  /// `ctx` bounds the batch (default: no deadline). The deadline is polled
+  /// at the commit protocol's stage boundaries; where the abort lands
+  /// decides the cleanup (see docs/ROBUSTNESS.md): before the epoch's
+  /// begin record is journaled the batch returns DeadlineExceeded with no
+  /// side effects; between begin and the journal commit record the abort
+  /// rides the torn-epoch machinery (store poisons, reopen rolls the epoch
+  /// back — nothing is ever published); after the commit record the epoch
+  /// is durable, so publication proceeds and the batch reports OK.
+  Status InsertBatch(const std::vector<Series>& batch,
+                     const Context& ctx = Context::Background());
 
   /// Flushes every shard's memtable (concurrently) and re-commits the
-  /// manifest with fresh advisory entry counts.
-  Status Flush();
+  /// manifest with fresh advisory entry counts. `ctx` is polled per shard:
+  /// a deadline abort between shards leaves some memtables flushed and
+  /// others not (safe — flushes are independently crash-consistent) and
+  /// skips the manifest re-commit.
+  Status Flush(const Context& ctx = Context::Background());
 
   /// Compacts every shard to a single run. Shards compact concurrently and
-  /// each shard's runs-merge is itself parallel — see CoconutForest.
-  Status CompactAll();
+  /// each shard's runs-merge is itself parallel — see CoconutForest. `ctx`
+  /// is polled per shard, like Flush.
+  Status CompactAll(const Context& ctx = Context::Background());
 
   /// Captures a store-wide snapshot (one per-shard snapshot each).
   Snapshot GetSnapshot() const;
@@ -255,8 +270,8 @@ class ShardedStore {
                                    StoreManifest* manifest,
                                    uint64_t* next_epoch);
   /// The atomic multi-shard commit (epoch + journal + staged publication).
-  Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets)
-      REQUIRES(commit_mu_);
+  Status CommitCrossShardLocked(std::vector<std::vector<Series>> buckets,
+                                const Context& ctx) REQUIRES(commit_mu_);
   /// Marks shard `i` quarantined with `cause` (idempotent; const because
   /// the read path quarantines on checksum failure) and updates the
   /// store.shard.quarantined gauge.

@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+
 #include <atomic>
 #include <cstring>
 #include <filesystem>
@@ -25,6 +27,7 @@
 #include "src/core/coconut_forest.h"
 #include "src/exec/query_engine.h"
 #include "src/exec/thread_pool.h"
+#include "src/obs/metrics.h"
 #include "src/series/generator.h"
 #include "src/store/sharded_store.h"
 #include "tests/test_util.h"
@@ -368,6 +371,66 @@ TEST(AdminServer, HealthzReportsDegradedNotUnavailableOnQuarantine) {
   EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
   EXPECT_EQ(body.rfind("degraded: ", 0), 0u) << body;
   EXPECT_NE(body.find("quarantined"), std::string::npos) << body;
+  server.Stop();
+}
+
+TEST(AdminServer, StatuszReportsAdmissionSection) {
+  AdminServer server;  // not started: Handle() needs no port
+  const AdminServer::Response statusz = server.Handle("GET", "/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("\"admission\":{"), std::string::npos)
+      << statusz.body;
+  EXPECT_NE(statusz.body.find("\"shed\":"), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"inflight\":"), std::string::npos);
+}
+
+TEST(AdminServer, SlowClientCannotWedgeTheServeLoop) {
+  // Inflate /metrics until the response dwarfs any socket buffer — the
+  // kernel auto-grows a blocked sender's buffer to tcp_wmem[2] (commonly
+  // 4 MiB), so only a response well past that forces the server's send
+  // loop to actually block on a client that never reads.
+  MetricRegistry& reg = MetricRegistry::Default();
+  for (int i = 0; i < 80000; ++i) {
+    reg.GetCounter("net.slow_client_padding.extremely_long_counter_name_" +
+                   std::to_string(i))
+        ->Increment();
+  }
+
+  AdminServer server;
+  ASSERT_OK(server.Start(0));
+  const uint16_t port = server.port();
+
+  // The slow client: shrink its receive buffer before connecting, send a
+  // /metrics request, then never read a byte. Without the send-side
+  // timeout this wedges the (single-threaded) serve loop forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 1024;  // kernel clamps to its minimum; still far below body
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+
+  // A well-behaved request completes once the 2 s SO_SNDTIMEO abandons the
+  // wedged connection. Generous bound: timeout + scheduling slack.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string body;
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // The lower bound proves the serve loop genuinely wedged on the slow
+  // client (and was freed by the timeout) rather than the response
+  // disappearing into kernel buffers.
+  EXPECT_GT(elapsed, std::chrono::milliseconds(1500));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  ::close(fd);
   server.Stop();
 }
 

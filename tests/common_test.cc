@@ -32,8 +32,29 @@ TEST(Status, CodesAndMessages) {
   EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_EQ(Status::IOError("disk on fire").ToString(),
             "IOError: disk on fire");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
+  EXPECT_EQ(Status::Aborted("cancelled").ToString(), "Aborted: cancelled");
+}
+
+TEST(Status, Transience) {
+  // Retry-at-the-same-level candidates: the work itself was fine, the
+  // system was momentarily unwilling.
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_TRUE(Status::Aborted("x").IsTransient());
+  // DeadlineExceeded is deliberately NOT transient: the caller's budget is
+  // spent, so retrying under the same deadline cannot help.
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_FALSE(Status::IOError("x").IsTransient());
+  EXPECT_FALSE(Status::Corruption("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
 }
 
 TEST(Status, ReturnIfErrorMacro) {

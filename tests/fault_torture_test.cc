@@ -1,6 +1,6 @@
 // Randomized crash-and-corrupt torture for the sharded store (CI job
-// `fault-torture`, see .github/workflows/ci.yml). Two phases, both driven by
-// one seeded mt19937_64 so every failure reproduces from the seed alone:
+// `fault-torture`, see .github/workflows/ci.yml). Three phases, all driven
+// by one seeded mt19937_64 so every failure reproduces from the seed alone:
 //
 //   1. Crash rounds: arm a random failpoint on the commit path (protocol
 //      kill points plus torn low-level writes), attempt a batch, and on
@@ -12,6 +12,10 @@
 //      detected at open (Corruption), be repaired/quarantined (degraded
 //      serving over the healthy shards), or hit a byte the engine rebuilds
 //      anyway — but a corrupted answer must never be served as truth.
+//   3. Deadline rounds: arm delay failpoints on the raw I/O sites and run
+//      inserts/queries under random deadlines. Calls return OK /
+//      DeadlineExceeded / Aborted only (never Corruption, never a hang),
+//      and an aborted commit rolls back to the exact committed prefix.
 //
 // The seed comes from COCONUT_TORTURE_SEED (default 1); CI runs a small
 // fixed set of seeds so a red run names the seed to replay locally.
@@ -26,8 +30,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/common/context.h"
 #include "src/common/failpoint.h"
 #include "src/core/coconut_forest.h"
+#include "src/exec/query_engine.h"
 #include "src/store/sharded_store.h"
 #include "tests/test_util.h"
 
@@ -276,6 +282,72 @@ TEST(FaultTorture, CrashAndCorruptRounds) {
     hurt.reset();
     std::filesystem::remove_all(copy);
   }
+
+  // ---- Phase 3: deadline rounds ----------------------------------------
+  // Arm delay failpoints on the low-level I/O sites and drive inserts and
+  // queries under random (often unmeetable) deadlines. Every call must
+  // return OK, DeadlineExceeded, or Aborted — never Corruption, never a
+  // hang — and a deadline-aborted commit must roll back to the exact
+  // committed prefix on reopen, just like a crash fault.
+  ASSERT_OK(ShardedStore::Open(root, opts, &store));
+  ASSERT_EQ(store->num_entries(), model.size());
+  QueryEngine engine;
+  QuerySpec spec;
+  spec.mode = QuerySpec::Mode::kExact;
+  spec.k = kTopK;
+  constexpr int kDeadlineRounds = 10;
+  for (int round = 0; round < kDeadlineRounds; ++round) {
+    SCOPED_TRACE("deadline round " + std::to_string(round));
+    Failpoints::Action delay;
+    delay.kind = Failpoints::Kind::kDelayMs;
+    delay.delay_ms = 1 + static_cast<int>(rng() % 8);
+    delay.probability = 0.5 + 0.5 * static_cast<double>(rng() % 2);
+    Failpoints::Default().Arm("io.file.read", delay);
+    Failpoints::Default().Arm("io.file.write", delay);
+    const Context ctx =
+        Context::WithTimeout(std::chrono::milliseconds(rng() % 40));
+
+    if (rng() % 2 == 0) {
+      std::vector<Series> batch = RandomBatch(rng, 20 + rng() % 41);
+      const Status st = store->InsertBatch(batch, ctx);
+      Failpoints::Default().DisarmAll();
+      ASSERT_TRUE(st.ok() || st.IsDeadlineExceeded() || st.IsAborted())
+          << st.ToString();
+      if (st.ok()) {
+        model.insert(model.end(), batch.begin(), batch.end());
+        ASSERT_EQ(store->num_entries(), model.size());
+      } else {
+        // Pre-begin aborts leave the store live; mid-commit aborts poison
+        // it. Reopening handles both and must land on an exact prefix.
+        store.reset();
+        ASSERT_OK(ShardedStore::Open(root, opts, &store));
+        ASSERT_EQ(store->QuarantinedShards(), 0u)
+            << "a deadline abort must never look like corruption";
+        const uint64_t after = store->num_entries();
+        ASSERT_TRUE(after == model.size() ||
+                    after == model.size() + batch.size())
+            << "reopened to " << after << " entries; committed prefix is "
+            << model.size() << ", aborted batch " << batch.size();
+        if (after == model.size() + batch.size()) {
+          model.insert(model.end(), batch.begin(), batch.end());
+        }
+      }
+    } else {
+      auto gen = MakeGenerator(DatasetKind::kRandomWalk, kSeriesLen, rng());
+      const std::vector<Series> queries{gen->NextSeries(), gen->NextSeries()};
+      std::vector<SearchResult> results;
+      const Status st = engine.ExecuteBatch(*store, queries, spec, &results,
+                                            /*traces=*/nullptr, ctx);
+      Failpoints::Default().DisarmAll();
+      ASSERT_TRUE(st.ok() || st.IsDeadlineExceeded() || st.IsAborted())
+          << st.ToString();
+      // A deadlined read path must not disturb the store.
+      ASSERT_EQ(store->num_entries(), model.size());
+    }
+  }
+  // With the delays gone the store serves the full committed model.
+  Failpoints::Default().DisarmAll();
+  ExpectExactMatchesOracle(store.get(), model, rng);
 }
 
 }  // namespace
